@@ -1,0 +1,52 @@
+// Ablation: the Adjust(H) heuristic (§3.2). Compares the detection attack's
+// success with and without hyper-parameter adjustment. Without Adjust, T1's
+// trees are free to overfit and grow larger than T0's, leaking the signature
+// through structural statistics — exactly the channel Table 2 shows Adjust
+// closes.
+
+#include <cstdio>
+
+#include "attacks/detection.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace treewm;
+  std::printf("Ablation — Adjust(H) on/off: detection attack success\n");
+  bench::PrintRule();
+  std::printf("%-16s %-8s %-10s %10s %10s %10s %12s\n", "Dataset", "Adjust",
+              "Statistic", "#correct", "#wrong", "#uncert", "recovered%%");
+  bench::PrintRule();
+
+  for (const auto& scale : bench::PaperDatasets()) {
+    bench::BenchEnv env = bench::MakeEnv(scale, /*seed=*/48);
+    for (bool adjust : {true, false}) {
+      Rng rng(115);
+      const core::Signature sigma =
+          core::Signature::Random(scale.num_trees, 0.5, &rng);
+      core::WatermarkConfig config = bench::ConfigFor(scale, 13);
+      config.adjust_hyperparameters = adjust;
+      core::Watermarker watermarker(config);
+      auto wm = watermarker.CreateWatermark(env.train, sigma);
+      if (!wm.ok()) {
+        std::printf("%-16s %-8s watermark failed: %s\n", env.name.c_str(),
+                    adjust ? "on" : "off", wm.status().ToString().c_str());
+        continue;
+      }
+      for (auto stat :
+           {attacks::TreeStatistic::kDepth, attacks::TreeStatistic::kLeafCount}) {
+        const auto report = attacks::DetectByThreshold(wm.value().model, stat, sigma);
+        const double recovered = 100.0 * static_cast<double>(report.num_correct) /
+                                 static_cast<double>(sigma.length());
+        std::printf("%-16s %-8s %-10s %10zu %10zu %10zu %11.1f%%\n",
+                    env.name.c_str(), adjust ? "on" : "off",
+                    attacks::TreeStatisticName(stat), report.num_correct,
+                    report.num_wrong, report.num_uncertain, recovered);
+      }
+    }
+    bench::PrintRule();
+  }
+  std::printf("expected: 'off' rows recover noticeably more signature bits "
+              "than 'on' rows\n(50%% = random guessing; the adjusted model "
+              "should sit near it).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every harness binary runs argument-free at a scale that finishes in tens
+// of seconds; setting TREEWM_BENCH_FULL=1 switches to the paper's full
+// dataset sizes and ensemble counts (slower but closest to Table 1).
+
+#ifndef TREEWM_BENCH_BENCH_UTIL_H_
+#define TREEWM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/watermark.h"
+#include "data/dataset.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+
+namespace treewm::bench {
+
+/// True when TREEWM_BENCH_FULL=1 is set.
+inline bool FullScale() {
+  const char* env = std::getenv("TREEWM_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Per-dataset benchmark scale.
+struct DatasetScale {
+  const char* name;
+  size_t rows;              ///< generated rows (0 = Table 1 size)
+  size_t num_trees;         ///< ensemble size m
+  double feature_fraction;  ///< per-tree feature share (0 = sqrt(d))
+};
+
+/// The three paper datasets at bench scale (paper scale under FullScale()).
+inline std::vector<DatasetScale> PaperDatasets() {
+  if (FullScale()) {
+    // Tree counts approximate the paper's Table 2 ensembles (90/70/80).
+    // Tabular datasets use a 0.4 feature share: trees stay correlated like
+    // sklearn's, which is what makes low-distortion forgery UNSAT (§4.2.2).
+    return {{"mnist2-6", 0, 90, 0.08},
+            {"breast-cancer", 0, 70, 0.4},
+            {"ijcnn1", 0, 80, 0.4}};
+  }
+  return {{"mnist2-6", 5000, 32, 0.10},
+          {"breast-cancer", 0, 32, 0.4},
+          {"ijcnn1", 4000, 32, 0.4}};
+}
+
+/// A prepared train/test environment for one dataset.
+struct BenchEnv {
+  data::Dataset train;
+  data::Dataset test;
+  std::string name;
+};
+
+inline BenchEnv MakeEnv(const DatasetScale& scale, uint64_t seed) {
+  auto data = data::synthetic::MakeByName(scale.name, seed, scale.rows).MoveValue();
+  Rng rng(seed + 17);
+  auto tt = data::MakeTrainTest(data, 0.3, &rng).MoveValue();
+  return BenchEnv{std::move(tt.train), std::move(tt.test), scale.name};
+}
+
+/// The watermark configuration used across harnesses (mirrors §4's setup:
+/// grid-searched H, adjusted hyper-parameters, trigger from the train set).
+inline core::WatermarkConfig DefaultWatermarkConfig(uint64_t seed) {
+  core::WatermarkConfig config;
+  config.seed = seed;
+  config.grid.max_depth_grid = {8, 12, -1};
+  config.grid.num_folds = 3;
+  config.trigger_fraction = 0.02;
+  return config;
+}
+
+/// Watermark configuration specialized to one dataset scale.
+inline core::WatermarkConfig ConfigFor(const DatasetScale& scale, uint64_t seed) {
+  core::WatermarkConfig config = DefaultWatermarkConfig(seed);
+  config.trigger_training.forest.feature_fraction = scale.feature_fraction;
+  return config;
+}
+
+/// Trains the standard (non-watermarked) reference forest with the tuned H
+/// and the same per-tree feature share as the watermarked model.
+inline forest::RandomForest StandardReference(const BenchEnv& env,
+                                              const DatasetScale& scale,
+                                              const tree::TreeConfig& tuned,
+                                              uint64_t seed) {
+  forest::ForestConfig config;
+  config.num_trees = scale.num_trees;
+  config.tree = tuned;
+  config.seed = seed;
+  config.feature_fraction = scale.feature_fraction;
+  return forest::RandomForest::Fit(env.train, {}, config).MoveValue();
+}
+
+/// Prints a horizontal rule sized to typical harness tables.
+inline void PrintRule() {
+  std::printf("-------------------------------------------------------------------"
+              "-------------\n");
+}
+
+}  // namespace treewm::bench
+
+#endif  // TREEWM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Extension harness: false ownership claims (ambiguity attack, the cheap
+// cousin of forgery). Instead of solving the NP-hard forgery problem, a lazy
+// claimant just shows up in court with a random signature and a random
+// subset of test instances as their "trigger set", hoping the verification
+// statistics fire by accident. This harness measures that false-positive
+// rate — the soundness of Charlie's procedure — across many random claims.
+//
+// Expectation: zero verified and zero conclusive claims; the bit match rate
+// of false claims concentrates around the control rate (~0.5), and the
+// minimum observed p-value stays far above the 1e-10 conclusiveness bar.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/verification.h"
+
+int main() {
+  using namespace treewm;
+  const auto scales = bench::PaperDatasets();
+  const auto& scale = scales[1];  // breast-cancer: fast
+  bench::BenchEnv env = bench::MakeEnv(scale, /*seed=*/52);
+  Rng rng(125);
+  const core::Signature sigma = core::Signature::Random(scale.num_trees, 0.5, &rng);
+  core::WatermarkConfig config = bench::ConfigFor(scale, 17);
+  core::Watermarker watermarker(config);
+  auto wm = watermarker.CreateWatermark(env.train, sigma).MoveValue();
+
+  const size_t num_claims = bench::FullScale() ? 500 : 200;
+  const size_t trigger_size = wm.trigger_set.num_rows();
+
+  std::printf("Extension — false ownership claims against a watermarked model\n");
+  std::printf("dataset %s, m=%zu, %zu random claims, fake trigger size %zu\n",
+              env.name.c_str(), scale.num_trees, num_claims, trigger_size);
+  bench::PrintRule();
+
+  size_t verified = 0;
+  size_t conclusive = 0;
+  double max_bit_rate = 0.0;
+  double min_log10_bit_p = 0.0;
+  core::ForestBlackBox suspect(wm.model);
+  for (size_t claim = 0; claim < num_claims; ++claim) {
+    const core::Signature fake =
+        core::Signature::Random(scale.num_trees, 0.5, &rng);
+    // The claimant's "trigger": random test rows with their true labels (the
+    // best distribution-matching fake they can assemble without solving the
+    // forgery problem).
+    std::vector<size_t> rows =
+        rng.SampleWithoutReplacement(env.test.num_rows(), trigger_size);
+    data::Dataset fake_trigger = env.test.Subset(rows);
+    std::vector<size_t> decoy_rows;
+    for (size_t i = 0; i < env.test.num_rows(); ++i) {
+      if (std::find(rows.begin(), rows.end(), i) == rows.end()) {
+        decoy_rows.push_back(i);
+      }
+    }
+    core::VerificationRequest request{fake, fake_trigger,
+                                      env.test.Subset(decoy_rows)};
+    auto report =
+        core::VerificationAuthority::Verify(suspect, request, &rng).MoveValue();
+    if (report.verified) ++verified;
+    if (report.conclusive()) ++conclusive;
+    max_bit_rate = std::max(max_bit_rate, report.bit_match_rate);
+    min_log10_bit_p = std::min(min_log10_bit_p, report.log10_bit_p_value);
+  }
+
+  std::printf("verified (strict):      %zu / %zu\n", verified, num_claims);
+  std::printf("conclusive (p < 1e-10): %zu / %zu\n", conclusive, num_claims);
+  std::printf("worst bit match rate:   %.3f (legitimate owner: 1.000)\n",
+              max_bit_rate);
+  std::printf("best log10 bit p-value: %.2f (conclusiveness bar: -10)\n",
+              min_log10_bit_p);
+  bench::PrintRule();
+  std::printf("expected: 0 verified, 0 conclusive — random claims never beat "
+              "Charlie's statistics.\n");
+  return (verified == 0 && conclusive == 0) ? 0 : 1;
+}

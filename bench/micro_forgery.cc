@@ -1,0 +1,95 @@
+// Micro-benchmarks: forgery-query latency as a function of ensemble size and
+// distortion budget (the quantity behind Figure 4's feasibility results).
+
+#include <benchmark/benchmark.h>
+
+#include "core/signature.h"
+#include "data/synthetic.h"
+#include "smt/cnf_encoder.h"
+#include "smt/forgery_solver.h"
+
+namespace {
+
+using namespace treewm;
+
+struct Fixture {
+  data::Dataset data;
+  forest::RandomForest forest;
+};
+
+const Fixture& CachedModel(size_t num_trees) {
+  static auto* cache = new std::map<size_t, Fixture>();
+  auto it = cache->find(num_trees);
+  if (it == cache->end()) {
+    auto data = data::synthetic::MakeBreastCancerLike(19);
+    forest::ForestConfig config;
+    config.num_trees = num_trees;
+    config.seed = 23;
+    auto forest = forest::RandomForest::Fit(data, {}, config).MoveValue();
+    it = cache->emplace(num_trees, Fixture{std::move(data), std::move(forest)})
+             .first;
+  }
+  return it->second;
+}
+
+smt::ForgeryQuery MakeQuery(const Fixture& fx, size_t num_trees, double epsilon,
+                            uint64_t seed) {
+  Rng rng(seed);
+  auto fake = core::Signature::Random(num_trees, 0.5, &rng);
+  smt::ForgeryQuery query;
+  query.signature_bits = fake.bits();
+  query.target_label = +1;
+  const size_t row = rng.UniformInt(fx.data.num_rows());
+  query.anchor.assign(fx.data.Row(row).begin(), fx.data.Row(row).end());
+  query.epsilon = epsilon;
+  query.max_nodes = 500000;
+  return query;
+}
+
+void BM_ForgeryBoxSolver(benchmark::State& state) {
+  const size_t num_trees = static_cast<size_t>(state.range(0));
+  const double epsilon = static_cast<double>(state.range(1)) / 100.0;
+  const Fixture& fx = CachedModel(num_trees);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto query = MakeQuery(fx, num_trees, epsilon, seed++);
+    auto outcome = smt::ForgerySolver::Solve(fx.forest, query);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ForgeryBoxSolver)
+    ->Args({8, 30})
+    ->Args({32, 30})
+    ->Args({64, 30})
+    ->Args({32, 10})
+    ->Args({32, 70})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ForgeryCnfBackend(benchmark::State& state) {
+  const size_t num_trees = static_cast<size_t>(state.range(0));
+  const Fixture& fx = CachedModel(num_trees);
+  uint64_t seed = 1;
+  sat::SolveBudget budget;
+  budget.max_conflicts = 100000;
+  for (auto _ : state) {
+    auto query = MakeQuery(fx, num_trees, 0.3, seed++);
+    auto outcome = smt::CnfForgeryBackend::Solve(fx.forest, query, budget);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ForgeryCnfBackend)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_LeafExtraction(benchmark::State& state) {
+  const Fixture& fx = CachedModel(32);
+  for (auto _ : state) {
+    for (const auto& tree : fx.forest.trees()) {
+      auto leaves = tree.ExtractLeaves();
+      benchmark::DoNotOptimize(leaves);
+    }
+  }
+}
+BENCHMARK(BM_LeafExtraction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Micro-benchmarks: inference throughput (single tree, forest majority vote,
+// per-tree predict-all as used by black-box verification).
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "forest/random_forest.h"
+
+namespace {
+
+using namespace treewm;
+
+struct Fixture {
+  data::Dataset data;
+  forest::RandomForest forest;
+};
+
+const Fixture& CachedFixture(size_t num_trees) {
+  static auto* cache = new std::map<size_t, Fixture>();
+  auto it = cache->find(num_trees);
+  if (it == cache->end()) {
+    auto data = data::synthetic::MakeBlobs(11, 4000, 20, 1.2);
+    forest::ForestConfig config;
+    config.num_trees = num_trees;
+    config.seed = 3;
+    auto forest = forest::RandomForest::Fit(data, {}, config).MoveValue();
+    it = cache->emplace(num_trees, Fixture{std::move(data), std::move(forest)})
+             .first;
+  }
+  return it->second;
+}
+
+void BM_TreePredict(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(8);
+  const auto& tree = fx.forest.trees()[0];
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Predict(fx.data.Row(i)));
+    i = (i + 1) % fx.data.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.forest.Predict(fx.data.Row(i)));
+    i = (i + 1) % fx.data.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestPredict)->Arg(8)->Arg(32)->Arg(80);
+
+void BM_ForestPredictAll(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto votes = fx.forest.PredictAll(fx.data.Row(i));
+    benchmark::DoNotOptimize(votes);
+    i = (i + 1) % fx.data.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestPredictAll)->Arg(8)->Arg(32)->Arg(80);
+
+void BM_ForestAccuracyBatch(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.forest.Accuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_ForestAccuracyBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Micro-benchmarks: CDCL SAT solver on random 3SAT (across the density
+// spectrum) and pigeonhole instances.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "reduction/three_cnf.h"
+#include "sat/solver.h"
+
+namespace {
+
+using namespace treewm;
+
+void BM_Random3Sat(benchmark::State& state) {
+  const int num_vars = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(static_cast<uint64_t>(num_vars));
+  // Pre-generate a pool of formulas to avoid measuring generation.
+  std::vector<sat::CnfFormula> pool;
+  for (int i = 0; i < 16; ++i) {
+    auto f = reduction::RandomThreeCnf(
+                 num_vars, static_cast<int>(density * num_vars), &rng)
+                 .MoveValue();
+    pool.push_back(reduction::ToCnfFormula(f));
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    sat::Solver solver;
+    if (LoadIntoSolver(pool[next], &solver)) {
+      benchmark::DoNotOptimize(solver.Solve());
+    }
+    next = (next + 1) % pool.size();
+  }
+}
+BENCHMARK(BM_Random3Sat)
+    ->Args({50, 300})
+    ->Args({50, 426})
+    ->Args({50, 550})
+    ->Args({100, 426})
+    ->Unit(benchmark::kMicrosecond);
+
+void AddPigeonhole(sat::Solver* s, int pigeons, int holes) {
+  s->EnsureVars(pigeons * holes);
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<sat::Lit> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(sat::Lit::Make(p * holes + h, false));
+    }
+    s->AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s->AddClause({sat::Lit::Make(p1 * holes + h, true),
+                      sat::Lit::Make(p2 * holes + h, true)});
+      }
+    }
+  }
+}
+
+void BM_Pigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver solver;
+    AddPigeonhole(&solver, holes + 1, holes);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_Pigeonhole)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Micro-benchmarks: decision tree and random forest training throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "forest/random_forest.h"
+#include "tree/decision_tree.h"
+
+namespace {
+
+using namespace treewm;
+
+const data::Dataset& CachedBlobs(size_t rows, size_t features) {
+  static auto* cache = new std::map<std::pair<size_t, size_t>, data::Dataset>();
+  auto key = std::make_pair(rows, features);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, data::synthetic::MakeBlobs(7, rows, features, 1.2))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_TreeFit(benchmark::State& state) {
+  const auto& data = CachedBlobs(static_cast<size_t>(state.range(0)),
+                                 static_cast<size_t>(state.range(1)));
+  tree::TreeConfig config;
+  for (auto _ : state) {
+    auto tree = tree::DecisionTree::Fit(data, {}, config);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_TreeFit)
+    ->Args({500, 10})
+    ->Args({2000, 10})
+    ->Args({2000, 50})
+    ->Args({8000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeFitBestFirst(benchmark::State& state) {
+  const auto& data = CachedBlobs(4000, 20);
+  tree::TreeConfig config;
+  config.max_leaf_nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto tree = tree::DecisionTree::Fit(data, {}, config);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeFitBestFirst)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_TreeFitWeighted(benchmark::State& state) {
+  const auto& data = CachedBlobs(4000, 20);
+  std::vector<double> weights(data.num_rows(), 1.0);
+  for (size_t i = 0; i < weights.size(); i += 50) weights[i] = 20.0;
+  tree::TreeConfig config;
+  for (auto _ : state) {
+    auto tree = tree::DecisionTree::Fit(data, weights, config);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeFitWeighted)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto& data = CachedBlobs(4000, 20);
+  forest::ForestConfig config;
+  config.num_trees = static_cast<size_t>(state.range(0));
+  config.seed = 5;
+  for (auto _ : state) {
+    auto forest = forest::RandomForest::Fit(data, {}, config);
+    benchmark::DoNotOptimize(forest);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForestFit)->Arg(8)->Arg(32)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFitSerial(benchmark::State& state) {
+  const auto& data = CachedBlobs(4000, 20);
+  forest::ForestConfig config;
+  config.num_trees = 32;
+  config.seed = 5;
+  config.num_threads = 1;
+  for (auto _ : state) {
+    auto forest = forest::RandomForest::Fit(data, {}, config);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_ForestFitSerial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Forgery study: what it takes for an attacker to fake ownership (§3.3,
+// §4.2.2, Theorem 1).
+//
+// Mallory holds a stolen watermarked image classifier. She cannot read the
+// embedded signature (detection fails) and cannot find the trigger set
+// (suppression fails), so her last option is forgery: invent a signature σ'
+// and a trigger set D' on which the model happens to show σ''s pattern.
+// This example walks through why that is hard:
+//   * the decision problem is NP-hard (we solve a 3SAT instance through the
+//     very same solver to make the equivalence tangible),
+//   * at believable distortion budgets the solver proves most instances
+//     UNSAT, and
+//   * the forgeries that do exist look wrong and score badly under any
+//     independently trained model.
+
+#include <cstdio>
+
+#include "attacks/forgery_attack.h"
+#include "core/watermark.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+#include "reduction/reduction.h"
+
+int main() {
+  using namespace treewm;
+
+  std::printf("=== The target: a watermarked digit classifier ===\n");
+  data::Dataset dataset = data::synthetic::MakeMnist26Like(/*seed=*/55, 3000);
+  Rng rng(8);
+  auto split = data::MakeTrainTest(dataset, 0.3, &rng).MoveValue();
+  core::Signature sigma = core::Signature::Random(24, 0.5, &rng);
+  core::WatermarkConfig config;
+  config.seed = 13;
+  core::Watermarker watermarker(config);
+  auto wm = watermarker.CreateWatermark(split.train, sigma).MoveValue();
+  std::printf("%zu trees, accuracy %.4f, legitimate trigger: %zu instances\n\n",
+              wm.model.num_trees(), wm.model.Accuracy(split.test),
+              wm.trigger_set.num_rows());
+
+  std::printf("=== Why forgery is hard in principle (Theorem 1) ===\n");
+  // Forging against a crafted ensemble is exactly 3SAT: watch the forgery
+  // solver crack a formula by working on its tree encoding.
+  Rng formula_rng(21);
+  auto formula = reduction::RandomThreeCnf(10, 42, &formula_rng).MoveValue();
+  auto assignment = reduction::SolveThreeSatViaForgery(formula);
+  if (assignment.ok()) {
+    std::printf("random 3SAT instance (10 vars, 42 clauses): SATISFIABLE via "
+                "forgery solver\n");
+  } else {
+    std::printf("random 3SAT instance (10 vars, 42 clauses): %s\n",
+                assignment.status().ToString().c_str());
+  }
+  std::printf("-> any forgery procedure doubles as a 3SAT solver, so no "
+              "polynomial algorithm exists unless P=NP.\n\n");
+
+  std::printf("=== Mallory tries anyway ===\n");
+  core::Signature fake = core::Signature::Random(24, 0.5, &rng);
+  std::printf("%-8s %10s %10s %12s %14s\n", "epsilon", "forged", "unsat",
+              "budget-out", "max distort");
+  for (double epsilon : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    attacks::ForgeryAttackConfig attack;
+    attack.epsilon = epsilon;
+    attack.max_attempts = 30;
+    attack.max_nodes_per_instance = 100000;
+    auto report =
+        attacks::RunForgeryAttack(wm.model, fake, split.test, attack).MoveValue();
+    double max_distortion = 0.0;
+    for (const auto& inst : report.instances) {
+      max_distortion = std::max(max_distortion, inst.linf_distance);
+    }
+    std::printf("%-8.1f %10zu %10zu %12zu %14.3f\n", epsilon, report.forged,
+                report.unsat, report.budget_exhausted, max_distortion);
+  }
+
+  std::printf("\n=== What a forgery looks like ===\n");
+  attacks::ForgeryAttackConfig showcase;
+  showcase.epsilon = 0.7;
+  showcase.max_forged = 1;
+  showcase.max_attempts = 50;
+  auto report =
+      attacks::RunForgeryAttack(wm.model, fake, split.test, showcase).MoveValue();
+  if (!report.instances.empty()) {
+    const auto& inst = report.instances.front();
+    std::printf("original test instance %zu:\n", inst.source_row);
+    std::vector<float> original(split.test.Row(inst.source_row).begin(),
+                                split.test.Row(inst.source_row).end());
+    std::printf("%s", data::synthetic::RenderImageAscii(original).c_str());
+    std::printf("forged instance (L-inf distance %.3f):\n", inst.linf_distance);
+    std::printf("%s", data::synthetic::RenderImageAscii(inst.features).c_str());
+    std::printf("-> visibly corrupted; an independent model (or a human) "
+                "flags it immediately.\n");
+  } else {
+    std::printf("no forgery found within the budget even at eps=0.7.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "attacks/detection.h"
+
+#include "common/stats.h"
+
+namespace treewm::attacks {
+
+const char* TreeStatisticName(TreeStatistic statistic) {
+  switch (statistic) {
+    case TreeStatistic::kDepth:
+      return "Depth";
+    case TreeStatistic::kLeafCount:
+      return "#leaves";
+  }
+  return "?";
+}
+
+std::vector<double> MeasureStatistic(const forest::RandomForest& forest,
+                                     TreeStatistic statistic) {
+  return statistic == TreeStatistic::kDepth ? forest.TreeDepths()
+                                            : forest.TreeLeafCounts();
+}
+
+namespace {
+
+DetectionReport Tally(TreeStatistic statistic, const std::vector<double>& values,
+                      const std::vector<BitGuess>& guesses,
+                      const core::Signature& truth) {
+  DetectionReport report;
+  report.statistic = statistic;
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  report.mean = stats.Mean();
+  report.stddev = stats.PopulationStdDev();
+  report.guesses = guesses;
+  for (size_t t = 0; t < guesses.size(); ++t) {
+    if (guesses[t] == BitGuess::kUncertain) {
+      ++report.num_uncertain;
+    } else if (static_cast<uint8_t>(guesses[t]) == truth.bit(t)) {
+      ++report.num_correct;
+    } else {
+      ++report.num_wrong;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+DetectionReport DetectByBand(const forest::RandomForest& forest,
+                             TreeStatistic statistic,
+                             const core::Signature& true_signature) {
+  const std::vector<double> values = MeasureStatistic(forest, statistic);
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  const double lo = stats.Mean() - stats.PopulationStdDev();
+  const double hi = stats.Mean() + stats.PopulationStdDev();
+  std::vector<BitGuess> guesses(values.size(), BitGuess::kUncertain);
+  for (size_t t = 0; t < values.size(); ++t) {
+    if (values[t] < lo) {
+      guesses[t] = BitGuess::kZero;  // "small" trees look unforced
+    } else if (values[t] > hi) {
+      guesses[t] = BitGuess::kOne;  // "large" trees look like overfitters
+    }
+  }
+  return Tally(statistic, values, guesses, true_signature);
+}
+
+DetectionReport DetectByThreshold(const forest::RandomForest& forest,
+                                  TreeStatistic statistic,
+                                  const core::Signature& true_signature) {
+  const std::vector<double> values = MeasureStatistic(forest, statistic);
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  std::vector<BitGuess> guesses(values.size());
+  for (size_t t = 0; t < values.size(); ++t) {
+    guesses[t] = values[t] <= stats.Mean() ? BitGuess::kZero : BitGuess::kOne;
+  }
+  return Tally(statistic, values, guesses, true_signature);
+}
+
+Result<core::Signature> GuessesToSignature(const DetectionReport& report,
+                                           uint8_t uncertain_fill) {
+  if (uncertain_fill > 1) {
+    return Status::InvalidArgument("uncertain_fill must be 0 or 1");
+  }
+  std::vector<uint8_t> bits;
+  bits.reserve(report.guesses.size());
+  for (BitGuess g : report.guesses) {
+    bits.push_back(g == BitGuess::kUncertain ? uncertain_fill
+                                             : static_cast<uint8_t>(g));
+  }
+  return core::Signature::FromBits(std::move(bits));
+}
+
+}  // namespace treewm::attacks

@@ -1,0 +1,67 @@
+// Watermark detection attack (paper §4.2.1).
+//
+// A white-box attacker inspects per-tree structural statistics (depth,
+// number of leaves) hoping to reconstruct the signature: trees forced to
+// misclassify (bit 1) might have grown larger. Two strategies from the
+// paper:
+//   Strategy 1 ("band"): bit 0 below mean − σ, bit 1 above mean + σ,
+//     everything in between is uncertain.
+//   Strategy 2 ("threshold"): the mean is a sharp cut; no uncertainty.
+// Table 2 reports #correct / #wrong / #uncertain for both.
+
+#ifndef TREEWM_ATTACKS_DETECTION_H_
+#define TREEWM_ATTACKS_DETECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/signature.h"
+#include "forest/random_forest.h"
+
+namespace treewm::attacks {
+
+/// Which structural statistic the attacker measures.
+enum class TreeStatistic { kDepth, kLeafCount };
+
+/// "Depth" / "#leaves" (Table 2 row labels).
+const char* TreeStatisticName(TreeStatistic statistic);
+
+/// The attacker's per-tree guess.
+enum class BitGuess : int8_t { kZero = 0, kOne = 1, kUncertain = 2 };
+
+/// Outcome of one detection attempt against a known ground-truth signature.
+struct DetectionReport {
+  TreeStatistic statistic = TreeStatistic::kDepth;
+  double mean = 0.0;    ///< mean of the statistic over the ensemble
+  double stddev = 0.0;  ///< population standard deviation
+  /// Per-tree guesses, parallel to the ensemble.
+  std::vector<BitGuess> guesses;
+  /// Tallies against the true signature.
+  size_t num_correct = 0;
+  size_t num_wrong = 0;
+  size_t num_uncertain = 0;
+};
+
+/// Extracts the chosen statistic per tree.
+std::vector<double> MeasureStatistic(const forest::RandomForest& forest,
+                                     TreeStatistic statistic);
+
+/// Strategy 1: mean ± stddev band with uncertain middle.
+DetectionReport DetectByBand(const forest::RandomForest& forest,
+                             TreeStatistic statistic,
+                             const core::Signature& true_signature);
+
+/// Strategy 2: sharp threshold at the mean (<= mean -> bit 0).
+DetectionReport DetectByThreshold(const forest::RandomForest& forest,
+                                  TreeStatistic statistic,
+                                  const core::Signature& true_signature);
+
+/// Best signature reconstruction the attacker could submit from a report:
+/// uncertain trees are filled with `uncertain_fill` (0 or 1).
+Result<core::Signature> GuessesToSignature(const DetectionReport& report,
+                                           uint8_t uncertain_fill);
+
+}  // namespace treewm::attacks
+
+#endif  // TREEWM_ATTACKS_DETECTION_H_

@@ -1,0 +1,74 @@
+#include "attacks/forgery_attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treewm::attacks {
+
+data::Dataset ForgeryAttackReport::ToDataset(size_t num_features) const {
+  data::Dataset out(num_features);
+  out.set_name("forged-trigger");
+  out.Reserve(instances.size());
+  for (const ForgedInstance& inst : instances) {
+    Status st = out.AddRow(inst.features, inst.label);
+    (void)st;
+  }
+  return out;
+}
+
+Result<ForgeryAttackReport> RunForgeryAttack(const forest::RandomForest& model,
+                                             const core::Signature& fake_signature,
+                                             const data::Dataset& test,
+                                             const ForgeryAttackConfig& config) {
+  if (fake_signature.length() != model.num_trees()) {
+    return Status::InvalidArgument("fake signature length != number of trees");
+  }
+  if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0,1)");
+  }
+
+  ForgeryAttackReport report;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    if (config.max_attempts != 0 && report.attempts >= config.max_attempts) break;
+    if (config.max_forged != 0 && report.forged >= config.max_forged) break;
+    ++report.attempts;
+
+    smt::ForgeryQuery query;
+    query.signature_bits = fake_signature.bits();
+    query.target_label = test.Label(i);
+    const auto row = test.Row(i);
+    query.anchor.assign(row.begin(), row.end());
+    query.epsilon = config.epsilon;
+    query.max_nodes = config.max_nodes_per_instance;
+
+    TREEWM_ASSIGN_OR_RETURN(smt::ForgeryOutcome outcome,
+                            smt::ForgerySolver::Solve(model, query));
+    report.total_nodes += outcome.nodes_explored;
+    switch (outcome.result) {
+      case sat::SatResult::kSat: {
+        ForgedInstance inst;
+        inst.features = outcome.witness;
+        inst.label = query.target_label;
+        inst.source_row = i;
+        double dist = 0.0;
+        for (size_t f = 0; f < inst.features.size(); ++f) {
+          dist = std::max(dist, std::fabs(static_cast<double>(inst.features[f]) -
+                                          static_cast<double>(query.anchor[f])));
+        }
+        inst.linf_distance = dist;
+        report.instances.push_back(std::move(inst));
+        ++report.forged;
+        break;
+      }
+      case sat::SatResult::kUnsat:
+        ++report.unsat;
+        break;
+      case sat::SatResult::kUnknown:
+        ++report.budget_exhausted;
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace treewm::attacks

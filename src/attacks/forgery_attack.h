@@ -1,0 +1,69 @@
+// Watermark forgery attack simulation (paper §4.2.2).
+//
+// The attacker generates a fake signature σ' and tries to assemble a forged
+// trigger set D'_trigger on which the stolen model exhibits σ''s output
+// pattern. Following the paper: for each instance of the test set, solve the
+// satisfiability problem "model output matches σ' within an L∞ ball of
+// radius ε around the instance" (Z3 in the paper; smt::ForgerySolver here).
+// The attack's success measure is |D'_trigger| relative to the legitimate
+// trigger size.
+
+#ifndef TREEWM_ATTACKS_FORGERY_ATTACK_H_
+#define TREEWM_ATTACKS_FORGERY_ATTACK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/signature.h"
+#include "data/dataset.h"
+#include "forest/random_forest.h"
+#include "smt/forgery_solver.h"
+
+namespace treewm::attacks {
+
+/// Attack parameters.
+struct ForgeryAttackConfig {
+  /// L∞ distortion bound ε ∈ (0,1).
+  double epsilon = 0.1;
+  /// Stop once this many instances were forged (0 = no cap; the paper caps
+  /// implicitly at the size of the original trigger set).
+  size_t max_forged = 0;
+  /// Per-instance solver node budget (stands in for Z3's timeout; 0 =
+  /// unlimited).
+  uint64_t max_nodes_per_instance = 200000;
+  /// Cap on test instances attempted (0 = all).
+  size_t max_attempts = 0;
+};
+
+/// One forged instance with its provenance.
+struct ForgedInstance {
+  std::vector<float> features;
+  int label = 0;             ///< the target label y used in the query
+  size_t source_row = 0;     ///< index of the anchor test instance
+  double linf_distance = 0;  ///< achieved ‖x − anchor‖_∞
+};
+
+/// Aggregate attack outcome.
+struct ForgeryAttackReport {
+  size_t attempts = 0;
+  size_t forged = 0;
+  size_t unsat = 0;
+  size_t budget_exhausted = 0;
+  uint64_t total_nodes = 0;
+  std::vector<ForgedInstance> instances;
+
+  /// The attacker's forged trigger set as a Dataset (labels = target y).
+  data::Dataset ToDataset(size_t num_features) const;
+};
+
+/// Runs the attack: iterate over `test` rows (as anchors), query the forgery
+/// solver with σ' and the row's label as target, collect successes.
+Result<ForgeryAttackReport> RunForgeryAttack(const forest::RandomForest& model,
+                                             const core::Signature& fake_signature,
+                                             const data::Dataset& test,
+                                             const ForgeryAttackConfig& config);
+
+}  // namespace treewm::attacks
+
+#endif  // TREEWM_ATTACKS_FORGERY_ATTACK_H_

@@ -1,0 +1,124 @@
+#include "attacks/modification.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace treewm::attacks {
+
+namespace {
+
+using tree::DecisionTree;
+using tree::TreeNode;
+
+/// Counts +1 / -1 leaves below `node` in the original tree.
+void CountLeafLabels(const std::vector<TreeNode>& nodes, int node, int* positive,
+                     int* negative) {
+  const TreeNode& n = nodes[static_cast<size_t>(node)];
+  if (n.feature == -1) {
+    (n.label > 0 ? *positive : *negative) += 1;
+    return;
+  }
+  CountLeafLabels(nodes, n.left, positive, negative);
+  CountLeafLabels(nodes, n.right, positive, negative);
+}
+
+/// Rebuilds `node` (from the original tree) into `out`, truncating below
+/// `remaining_depth`. Returns the index of the rebuilt node in `out`.
+int RebuildTruncated(const std::vector<TreeNode>& nodes, int node,
+                     int remaining_depth, std::vector<TreeNode>* out) {
+  const TreeNode& n = nodes[static_cast<size_t>(node)];
+  const int self = static_cast<int>(out->size());
+  out->push_back(TreeNode{});
+  if (n.feature == -1 || remaining_depth == 0) {
+    int positive = 0;
+    int negative = 0;
+    CountLeafLabels(nodes, node, &positive, &negative);
+    TreeNode& leaf = (*out)[static_cast<size_t>(self)];
+    leaf.feature = -1;
+    leaf.label = positive >= negative ? +1 : -1;
+    return self;
+  }
+  const int left = RebuildTruncated(nodes, n.left, remaining_depth - 1, out);
+  const int right = RebuildTruncated(nodes, n.right, remaining_depth - 1, out);
+  TreeNode& internal = (*out)[static_cast<size_t>(self)];
+  internal.feature = n.feature;
+  internal.threshold = n.threshold;
+  internal.left = left;
+  internal.right = right;
+  internal.label = 0;
+  return self;
+}
+
+}  // namespace
+
+Result<forest::RandomForest> PruneToDepth(const forest::RandomForest& forest,
+                                          int max_depth) {
+  if (max_depth < 0) return Status::InvalidArgument("max_depth must be >= 0");
+  std::vector<DecisionTree> pruned;
+  pruned.reserve(forest.num_trees());
+  for (const auto& t : forest.trees()) {
+    std::vector<TreeNode> nodes;
+    RebuildTruncated(t.nodes(), 0, max_depth, &nodes);
+    TREEWM_ASSIGN_OR_RETURN(
+        DecisionTree rebuilt,
+        DecisionTree::FromNodes(std::move(nodes), t.num_features()));
+    pruned.push_back(std::move(rebuilt));
+  }
+  return forest::RandomForest::FromTrees(std::move(pruned));
+}
+
+Result<forest::RandomForest> RelabelRandomLeaves(const forest::RandomForest& forest,
+                                                 double fraction, Rng* rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0,1]");
+  }
+  std::vector<DecisionTree> tampered;
+  tampered.reserve(forest.num_trees());
+  for (const auto& t : forest.trees()) {
+    std::vector<TreeNode> nodes = t.nodes();
+    for (TreeNode& n : nodes) {
+      if (n.feature == -1 && rng->Bernoulli(fraction)) n.label = -n.label;
+    }
+    TREEWM_ASSIGN_OR_RETURN(
+        DecisionTree rebuilt,
+        DecisionTree::FromNodes(std::move(nodes), t.num_features()));
+    tampered.push_back(std::move(rebuilt));
+  }
+  return forest::RandomForest::FromTrees(std::move(tampered));
+}
+
+Result<forest::RandomForest> ReplaceRandomTrees(const forest::RandomForest& forest,
+                                                double fraction,
+                                                const data::Dataset& surrogate,
+                                                const tree::TreeConfig& config,
+                                                Rng* rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0,1]");
+  }
+  if (surrogate.num_features() != forest.num_features()) {
+    return Status::InvalidArgument("surrogate feature count mismatch");
+  }
+  const size_t replace_count = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(forest.num_trees())));
+  std::vector<size_t> victims =
+      rng->SampleWithoutReplacement(forest.num_trees(), replace_count);
+
+  std::vector<DecisionTree> trees = forest.trees();
+  const size_t d = forest.num_features();
+  const size_t features_per_tree = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(std::sqrt(static_cast<double>(d)))));
+  for (size_t victim : victims) {
+    std::vector<size_t> picked = rng->SampleWithoutReplacement(d, features_per_tree);
+    std::vector<int> subset;
+    subset.reserve(picked.size());
+    for (size_t f : picked) subset.push_back(static_cast<int>(f));
+    TREEWM_ASSIGN_OR_RETURN(DecisionTree fresh,
+                            DecisionTree::Fit(surrogate, {}, config, subset));
+    trees[victim] = std::move(fresh);
+  }
+  return forest::RandomForest::FromTrees(std::move(trees));
+}
+
+}  // namespace treewm::attacks

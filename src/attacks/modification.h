@@ -1,0 +1,53 @@
+// Model-modification attacks (the paper's future work, §5).
+//
+// The paper's threat model assumes the attacker does not modify the stolen
+// model; its conclusion names "attackers able to modify the watermarked
+// model" as the next analysis step. This module implements the three natural
+// white-box modification attacks an IP thief would try — each trades model
+// fidelity against watermark damage — so the trade-off can be measured:
+//
+//  * depth pruning     — truncate every tree at depth d, replacing subtrees
+//                        with their majority-leaf label (coarse but cheap);
+//  * leaf re-labeling  — flip the labels of a random fraction of leaves
+//                        (hopes to hit trigger-carrying leaves);
+//  * tree replacement  — retrain a random fraction of trees on surrogate
+//                        data (partial model distillation).
+//
+// The companion harness (bench/ext_model_modification) sweeps each attack's
+// strength and reports accuracy cost vs verification survival.
+
+#ifndef TREEWM_ATTACKS_MODIFICATION_H_
+#define TREEWM_ATTACKS_MODIFICATION_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "forest/random_forest.h"
+
+namespace treewm::attacks {
+
+/// Truncates every tree of `forest` at `max_depth`: each surviving internal
+/// node deeper than the cut becomes a leaf labeled with the majority label
+/// of the leaves below it (ties break positive). `max_depth` >= 0; 0 reduces
+/// each tree to a single leaf.
+Result<forest::RandomForest> PruneToDepth(const forest::RandomForest& forest,
+                                          int max_depth);
+
+/// Flips the label of each leaf independently with probability `fraction`
+/// (in [0,1]). The attacker cannot tell trigger-carrying leaves apart, so
+/// random flipping is their best untargeted strategy.
+Result<forest::RandomForest> RelabelRandomLeaves(const forest::RandomForest& forest,
+                                                 double fraction, Rng* rng);
+
+/// Replaces round(fraction*m) randomly chosen trees with fresh trees trained
+/// on `surrogate` (the attacker's own data, assumed same distribution) using
+/// `config`. The replaced trees lose their watermark bits entirely.
+Result<forest::RandomForest> ReplaceRandomTrees(const forest::RandomForest& forest,
+                                                double fraction,
+                                                const data::Dataset& surrogate,
+                                                const tree::TreeConfig& config,
+                                                Rng* rng);
+
+}  // namespace treewm::attacks
+
+#endif  // TREEWM_ATTACKS_MODIFICATION_H_

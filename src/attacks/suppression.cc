@@ -1,0 +1,68 @@
+#include "attacks/suppression.h"
+
+#include <cmath>
+#include <limits>
+
+namespace treewm::attacks {
+
+namespace {
+
+double SquaredL2(std::span<const float> a, std::span<const float> b) {
+  double sum = 0.0;
+  for (size_t f = 0; f < a.size(); ++f) {
+    const double diff = static_cast<double>(a[f]) - static_cast<double>(b[f]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<SuppressionProbeReport> ProbeSuppression(const data::Dataset& trigger,
+                                                const data::Dataset& decoys) {
+  if (trigger.num_rows() == 0 || decoys.num_rows() == 0) {
+    return Status::InvalidArgument("both trigger and decoy sets must be non-empty");
+  }
+  if (trigger.num_features() != decoys.num_features()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+
+  SuppressionProbeReport report;
+  report.trigger_size = trigger.num_rows();
+  report.decoy_size = decoys.num_rows();
+
+  const size_t pool = trigger.num_rows() + decoys.num_rows();
+  size_t trigger_nn = 0;
+  for (size_t i = 0; i < trigger.num_rows(); ++i) {
+    const auto anchor = trigger.Row(i);
+    double best = std::numeric_limits<double>::infinity();
+    bool best_is_trigger = false;
+    for (size_t j = 0; j < trigger.num_rows(); ++j) {
+      if (j == i) continue;
+      const double d = SquaredL2(anchor, trigger.Row(j));
+      if (d < best) {
+        best = d;
+        best_is_trigger = true;
+      }
+    }
+    for (size_t j = 0; j < decoys.num_rows(); ++j) {
+      const double d = SquaredL2(anchor, decoys.Row(j));
+      if (d < best) {
+        best = d;
+        best_is_trigger = false;
+      }
+    }
+    if (best_is_trigger) ++trigger_nn;
+  }
+  report.trigger_nn_fraction =
+      static_cast<double>(trigger_nn) / static_cast<double>(trigger.num_rows());
+  report.expected_fraction = static_cast<double>(trigger.num_rows() - 1) /
+                             static_cast<double>(pool - 1);
+  report.separation_ratio =
+      report.expected_fraction > 0.0
+          ? report.trigger_nn_fraction / report.expected_fraction
+          : 0.0;
+  return report;
+}
+
+}  // namespace treewm::attacks

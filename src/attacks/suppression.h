@@ -1,0 +1,40 @@
+// Watermark suppression analysis (paper §3.3, threat 2).
+//
+// The scheme defends against suppression by construction: the trigger set is
+// sampled from the training distribution, so an attacker watching
+// verification queries cannot tell trigger instances from ordinary test
+// instances. This module quantifies that indistinguishability with a
+// nearest-neighbour two-sample statistic: if trigger rows were
+// distributionally distinct from test rows, their nearest neighbours would
+// disproportionately be other trigger rows.
+
+#ifndef TREEWM_ATTACKS_SUPPRESSION_H_
+#define TREEWM_ATTACKS_SUPPRESSION_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace treewm::attacks {
+
+/// Outcome of the two-sample probe.
+struct SuppressionProbeReport {
+  size_t trigger_size = 0;
+  size_t decoy_size = 0;
+  /// Fraction of trigger rows whose nearest neighbour (in the pooled batch,
+  /// L2) is another trigger row. Under indistinguishability this approaches
+  /// the trigger share of the pool; a value near 1 would let the attacker
+  /// cluster the verification batch and suppress the watermark.
+  double trigger_nn_fraction = 0.0;
+  /// The null expectation (trigger share of the pooled batch).
+  double expected_fraction = 0.0;
+  /// trigger_nn_fraction / expected_fraction — ≈1 means safe.
+  double separation_ratio = 0.0;
+};
+
+/// Pools trigger and decoy rows and measures nearest-neighbour affinity.
+Result<SuppressionProbeReport> ProbeSuppression(const data::Dataset& trigger,
+                                                const data::Dataset& decoys);
+
+}  // namespace treewm::attacks
+
+#endif  // TREEWM_ATTACKS_SUPPRESSION_H_

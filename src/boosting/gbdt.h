@@ -1,0 +1,75 @@
+// Gradient-boosted decision trees for binary classification.
+//
+// The baseline/future-work ensemble family from the paper's conclusion (§5).
+// Standard logit boosting: additive model F(x) = F0 + lr * Σ t_k(x), trees
+// fit to the logistic-loss gradient with Newton-step leaf values. Serves two
+// purposes here: (1) quantifying the accuracy headroom a watermarkable
+// random forest gives up (bench/ext_gbdt_baseline), and (2) demonstrating
+// why the paper's per-tree-vote watermark does not transfer unchanged —
+// boosted trees emit real-valued increments, not class votes, so the
+// signature channel of §3.2 does not exist (see GbdtWatermarkabilityNote()).
+
+#ifndef TREEWM_BOOSTING_GBDT_H_
+#define TREEWM_BOOSTING_GBDT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "boosting/regression_tree.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace treewm::boosting {
+
+/// Boosting hyper-parameters.
+struct GbdtConfig {
+  /// Number of boosting rounds (trees).
+  size_t num_trees = 100;
+  /// Shrinkage applied to every tree's contribution.
+  double learning_rate = 0.1;
+  /// Member-tree induction parameters (shallow by default).
+  RegressionTreeConfig tree;
+
+  Status Validate() const;
+};
+
+/// An immutable trained GBDT binary classifier.
+class Gbdt {
+ public:
+  /// Trains on labels ±1 with logistic loss.
+  static Result<Gbdt> Fit(const data::Dataset& dataset, const GbdtConfig& config);
+
+  /// Raw additive score F(x) (log-odds scale).
+  double Score(std::span<const float> row) const;
+
+  /// Class prediction: sign of the score (0 -> +1 for determinism).
+  int Predict(std::span<const float> row) const;
+
+  /// Accuracy on `dataset`.
+  double Accuracy(const data::Dataset& dataset) const;
+
+  /// Accuracy using only the first `k` trees — the staged-performance curve.
+  double StagedAccuracy(const data::Dataset& dataset, size_t k) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  double initial_score() const { return initial_score_; }
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  Gbdt() = default;
+  std::vector<RegressionTree> trees_;
+  double initial_score_ = 0.0;
+  double learning_rate_ = 0.1;
+  size_t num_features_ = 0;
+};
+
+/// Why Algorithm 1 does not port verbatim to boosting — the analysis the
+/// paper defers to future work, stated precisely for documentation and
+/// examples.
+std::string GbdtWatermarkabilityNote();
+
+}  // namespace treewm::boosting
+
+#endif  // TREEWM_BOOSTING_GBDT_H_

@@ -1,0 +1,75 @@
+// Regression trees (variance-reduction CART) — the member learner for
+// gradient boosting.
+//
+// The paper's future work names gradient-boosted ensembles as the next
+// target for the watermarking scheme (§5). Boosting fits trees to residuals,
+// which requires a regression learner: axis-aligned splits minimizing the
+// sum of squared errors, real-valued leaves. Leaf values are exposed for
+// override so the booster can install Newton-step values (the standard
+// logit-boost refinement).
+
+#ifndef TREEWM_BOOSTING_REGRESSION_TREE_H_
+#define TREEWM_BOOSTING_REGRESSION_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace treewm::boosting {
+
+/// One node of a flattened regression tree. Leaves have feature == -1.
+struct RegressionNode {
+  int feature = -1;
+  float threshold = 0.0f;
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  ///< leaf prediction
+};
+
+/// Induction hyper-parameters.
+struct RegressionTreeConfig {
+  /// Maximum depth; boosting conventionally uses shallow trees (default 3).
+  int max_depth = 3;
+  /// Minimum instances per child.
+  size_t min_samples_leaf = 1;
+  /// Minimum SSE decrease to accept a split.
+  double min_gain = 1e-12;
+
+  Status Validate() const;
+};
+
+/// An immutable trained regression tree.
+class RegressionTree {
+ public:
+  /// Fits to `targets` (one per dataset row) using the dataset's features;
+  /// dataset labels are ignored.
+  static Result<RegressionTree> Fit(const data::Dataset& dataset,
+                                    const std::vector<double>& targets,
+                                    const RegressionTreeConfig& config);
+
+  /// Predicted value for one instance.
+  double Predict(std::span<const float> row) const;
+
+  /// Index (into nodes()) of the leaf `row` reaches.
+  int LeafIndexFor(std::span<const float> row) const;
+
+  /// Overwrites a leaf's value (used for Newton steps). `node` must be a
+  /// leaf index.
+  Status SetLeafValue(int node, double value);
+
+  int Depth() const;
+  size_t NumLeaves() const;
+  const std::vector<RegressionNode>& nodes() const { return nodes_; }
+  size_t num_features() const { return num_features_; }
+
+ private:
+  RegressionTree() = default;
+  std::vector<RegressionNode> nodes_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace treewm::boosting
+
+#endif  // TREEWM_BOOSTING_REGRESSION_TREE_H_

@@ -1,0 +1,32 @@
+// Minimal leveled logging to stderr.
+//
+// Benchmarks and examples use INFO; library internals log at DEBUG so they
+// stay silent by default. Not thread-buffered: each call writes one line.
+
+#ifndef TREEWM_COMMON_LOGGING_H_
+#define TREEWM_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace treewm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level actually emitted (default: kWarning).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global log level.
+LogLevel GetLogLevel();
+
+/// Emits one log line "[LEVEL] message" if `level` >= the global level.
+void Log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void LogDebug(const std::string& message);
+void LogInfo(const std::string& message);
+void LogWarning(const std::string& message);
+void LogError(const std::string& message);
+
+}  // namespace treewm
+
+#endif  // TREEWM_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+#include "common/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace treewm {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::PopulationVariance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::PopulationStdDev() const { return std::sqrt(PopulationVariance()); }
+
+double RunningStats::SampleStdDev() const { return std::sqrt(SampleVariance()); }
+
+double Mean(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.Mean();
+}
+
+double PopulationStdDev(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.PopulationStdDev();
+}
+
+double AgreementFraction(const std::vector<int>& a, const std::vector<int>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace treewm

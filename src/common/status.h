@@ -1,0 +1,159 @@
+// Status / Result error-handling primitives in the Arrow/RocksDB idiom.
+//
+// Library code returns Status (or Result<T>) instead of throwing across the
+// public API boundary. A Status is cheap to copy in the OK case (no
+// allocation) and carries a code plus a human-readable message otherwise.
+
+#ifndef TREEWM_COMMON_STATUS_H_
+#define TREEWM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace treewm {
+
+/// Machine-readable category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kIoError = 9,
+  kParseError = 10,
+  kTimeout = 11,
+};
+
+/// Returns a stable lower-case name for `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation: OK, or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers mirroring the StatusCode enumerators.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status Internal(std::string msg);
+  static Status IoError(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status Timeout(std::string msg);
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk when ok()).
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// The error message ("" when ok()).
+  const std::string& message() const;
+
+  /// "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK: copying a success status never allocates.
+  std::shared_ptr<const State> state_;
+};
+
+/// A value or an error Status. Analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a Result holding a non-OK `status`. Storing an OK status is a
+  /// programming error and is normalized to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out of the Result; must only be called when ok().
+  T MoveValue() {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace treewm
+
+/// Propagates a non-OK Status to the caller.
+#define TREEWM_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::treewm::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+#define TREEWM_CONCAT_IMPL(a, b) a##b
+#define TREEWM_CONCAT(a, b) TREEWM_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors, else binds the value.
+#define TREEWM_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  TREEWM_ASSIGN_OR_RETURN_IMPL(TREEWM_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define TREEWM_ASSIGN_OR_RETURN_IMPL(res, lhs, rexpr) \
+  auto res = (rexpr);                                 \
+  if (!res.ok()) return res.status();                 \
+  lhs = std::move(res).MoveValue()
+
+#endif  // TREEWM_COMMON_STATUS_H_

@@ -1,0 +1,63 @@
+// Fixed-size thread pool with a deterministic ParallelFor helper.
+//
+// Forest training parallelizes across trees. Determinism is preserved by
+// assigning each work item its own pre-forked RNG, so the schedule cannot
+// change results.
+
+#ifndef TREEWM_COMMON_THREAD_POOL_H_
+#define TREEWM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace treewm {
+
+/// A fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after the destructor begins.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Returns a process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across `pool`, blocking until all
+/// iterations complete. body must be safe to invoke concurrently for distinct
+/// indices. If `pool` is nullptr or count <= 1, runs inline.
+void ParallelFor(ThreadPool* pool, size_t count, const std::function<void(size_t)>& body);
+
+}  // namespace treewm
+
+#endif  // TREEWM_COMMON_THREAD_POOL_H_

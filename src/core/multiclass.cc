@@ -1,0 +1,77 @@
+#include "core/multiclass.h"
+
+#include "common/string_util.h"
+
+namespace treewm::core {
+
+Status MultiClassDataset::AddRow(std::span<const float> features, int label) {
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  if (label < 0 || label >= num_classes_) {
+    return Status::InvalidArgument(StrFormat("label %d outside [0,%d)", label,
+                                             num_classes_));
+  }
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+data::Dataset MultiClassDataset::BinaryView(int cls) const {
+  data::Dataset out(num_features_);
+  out.set_name(StrFormat("ovr-class-%d", cls));
+  out.Reserve(num_rows());
+  for (size_t i = 0; i < num_rows(); ++i) {
+    Status st = out.AddRow(Row(i), labels_[i] == cls ? data::kPositive
+                                                     : data::kNegative);
+    (void)st;
+  }
+  return out;
+}
+
+int MultiClassWatermarkedModel::Predict(std::span<const float> row) const {
+  int best_class = 0;
+  int best_votes = -1;
+  for (size_t c = 0; c < per_class.size(); ++c) {
+    int votes = 0;
+    for (int v : per_class[c].model.PredictAll(row)) {
+      if (v == data::kPositive) ++votes;
+    }
+    if (votes > best_votes) {
+      best_votes = votes;
+      best_class = static_cast<int>(c);
+    }
+  }
+  return best_class;
+}
+
+double MultiClassWatermarkedModel::Accuracy(const MultiClassDataset& dataset) const {
+  if (dataset.num_rows() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    if (Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.num_rows());
+}
+
+Result<MultiClassWatermarkedModel> MultiClassWatermarker::CreateWatermark(
+    const MultiClassDataset& train, const std::vector<Signature>& signatures) const {
+  if (static_cast<int>(signatures.size()) != train.num_classes()) {
+    return Status::InvalidArgument("need exactly one signature per class");
+  }
+  MultiClassWatermarkedModel out;
+  out.per_class.reserve(signatures.size());
+  for (int cls = 0; cls < train.num_classes(); ++cls) {
+    WatermarkConfig per_class_config = config_;
+    per_class_config.seed = config_.seed + static_cast<uint64_t>(cls) * 0x9E3779B9ULL;
+    Watermarker watermarker(per_class_config);
+    TREEWM_ASSIGN_OR_RETURN(
+        WatermarkedModel wm,
+        watermarker.CreateWatermark(train.BinaryView(cls),
+                                    signatures[static_cast<size_t>(cls)]));
+    out.per_class.push_back(std::move(wm));
+  }
+  return out;
+}
+
+}  // namespace treewm::core

@@ -1,0 +1,76 @@
+// Multi-class watermarking via one-vs-rest decomposition.
+//
+// The paper's scheme is binary; §3.2 notes that "multi-class classification
+// can be supported by encoding it in terms of multiple binary classification
+// tasks". This module implements that extension: one binary watermarked
+// forest per class (positive = the class, negative = the rest), each carrying
+// its own signature slice; prediction is argmax over per-class positive
+// votes.
+
+#ifndef TREEWM_CORE_MULTICLASS_H_
+#define TREEWM_CORE_MULTICLASS_H_
+
+#include <span>
+#include <vector>
+
+#include "core/watermark.h"
+#include "data/dataset.h"
+
+namespace treewm::core {
+
+/// A dataset with integer class labels 0..num_classes-1.
+class MultiClassDataset {
+ public:
+  MultiClassDataset(size_t num_features, int num_classes)
+      : num_features_(num_features), num_classes_(num_classes) {}
+
+  size_t num_rows() const { return labels_.size(); }
+  size_t num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Appends one instance; `label` must be in [0, num_classes).
+  Status AddRow(std::span<const float> features, int label);
+
+  std::span<const float> Row(size_t i) const {
+    return {values_.data() + i * num_features_, num_features_};
+  }
+  int Label(size_t i) const { return labels_[i]; }
+
+  /// The one-vs-rest binary view for `cls`: label +1 iff Label(i) == cls.
+  data::Dataset BinaryView(int cls) const;
+
+ private:
+  size_t num_features_;
+  int num_classes_;
+  std::vector<float> values_;
+  std::vector<int> labels_;
+};
+
+/// One-vs-rest ensemble of watermarked binary forests.
+struct MultiClassWatermarkedModel {
+  std::vector<WatermarkedModel> per_class;
+
+  /// Predicted class: argmax over classes of positive votes (ties -> lower
+  /// class id, deterministic).
+  int Predict(std::span<const float> row) const;
+
+  /// Accuracy on a multi-class dataset.
+  double Accuracy(const MultiClassDataset& dataset) const;
+};
+
+/// Runs Algorithm 1 once per class.
+class MultiClassWatermarker {
+ public:
+  explicit MultiClassWatermarker(WatermarkConfig config) : config_(std::move(config)) {}
+
+  /// `signatures` holds one signature per class (all the same length m).
+  Result<MultiClassWatermarkedModel> CreateWatermark(
+      const MultiClassDataset& train, const std::vector<Signature>& signatures) const;
+
+ private:
+  WatermarkConfig config_;
+};
+
+}  // namespace treewm::core
+
+#endif  // TREEWM_CORE_MULTICLASS_H_

@@ -1,0 +1,43 @@
+#include "data/scaler.h"
+
+#include <algorithm>
+
+namespace treewm::data {
+
+Status MinMaxScaler::Fit(const Dataset& dataset) {
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit scaler on empty dataset");
+  }
+  const size_t d = dataset.num_features();
+  mins_.assign(d, 0.0f);
+  maxs_.assign(d, 0.0f);
+  for (size_t j = 0; j < d; ++j) {
+    mins_[j] = dataset.FeatureMin(j);
+    maxs_[j] = dataset.FeatureMax(j);
+  }
+  return Status::OK();
+}
+
+Status MinMaxScaler::Transform(Dataset* dataset) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (dataset->num_features() != mins_.size()) {
+    return Status::InvalidArgument("feature count mismatch in Transform");
+  }
+  const size_t d = dataset->num_features();
+  for (size_t i = 0; i < dataset->num_rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const float span = maxs_[j] - mins_[j];
+      float v = span > 0.0f ? (dataset->At(i, j) - mins_[j]) / span : 0.0f;
+      v = std::clamp(v, 0.0f, 1.0f);
+      dataset->SetAt(i, j, v);
+    }
+  }
+  return Status::OK();
+}
+
+Status MinMaxScaler::FitTransform(Dataset* dataset) {
+  TREEWM_RETURN_IF_ERROR(Fit(*dataset));
+  return Transform(dataset);
+}
+
+}  // namespace treewm::data

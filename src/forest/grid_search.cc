@@ -1,0 +1,82 @@
+#include "forest/grid_search.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace treewm::forest {
+
+Result<std::vector<size_t>> StratifiedFolds(const data::Dataset& dataset,
+                                            size_t num_folds, Rng* rng) {
+  if (num_folds < 2) return Status::InvalidArgument("num_folds must be >= 2");
+  if (dataset.num_rows() < num_folds) {
+    return Status::InvalidArgument(
+        StrFormat("cannot make %zu folds from %zu rows", num_folds,
+                  dataset.num_rows()));
+  }
+  std::vector<size_t> fold_of(dataset.num_rows());
+  // Deal each class round-robin into folds after a shuffle.
+  for (int label : {data::kPositive, data::kNegative}) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < dataset.num_rows(); ++i) {
+      if (dataset.Label(i) == label) members.push_back(i);
+    }
+    rng->Shuffle(&members);
+    for (size_t i = 0; i < members.size(); ++i) fold_of[members[i]] = i % num_folds;
+  }
+  return fold_of;
+}
+
+Result<GridSearchOutcome> GridSearch(const data::Dataset& dataset, size_t num_trees,
+                                     const GridSearchConfig& config) {
+  if (config.max_depth_grid.empty() || config.max_leaf_nodes_grid.empty()) {
+    return Status::InvalidArgument("grid must be non-empty");
+  }
+  Rng rng(config.seed);
+  TREEWM_ASSIGN_OR_RETURN(std::vector<size_t> fold_of,
+                          StratifiedFolds(dataset, config.num_folds, &rng));
+
+  // Materialize per-fold train/validation datasets once.
+  std::vector<data::Dataset> fold_train;
+  std::vector<data::Dataset> fold_valid;
+  for (size_t fold = 0; fold < config.num_folds; ++fold) {
+    std::vector<size_t> train_idx;
+    std::vector<size_t> valid_idx;
+    for (size_t i = 0; i < dataset.num_rows(); ++i) {
+      (fold_of[i] == fold ? valid_idx : train_idx).push_back(i);
+    }
+    fold_train.push_back(dataset.Subset(train_idx));
+    fold_valid.push_back(dataset.Subset(valid_idx));
+  }
+
+  GridSearchOutcome outcome;
+  for (int max_depth : config.max_depth_grid) {
+    for (int max_leaf_nodes : config.max_leaf_nodes_grid) {
+      ForestConfig forest_config = config.forest_template;
+      forest_config.num_trees = num_trees;
+      forest_config.tree.max_depth = max_depth;
+      forest_config.tree.max_leaf_nodes = max_leaf_nodes;
+      forest_config.seed = rng.NextUint64();
+      TREEWM_RETURN_IF_ERROR(forest_config.Validate());
+
+      double accuracy_sum = 0.0;
+      for (size_t fold = 0; fold < config.num_folds; ++fold) {
+        TREEWM_ASSIGN_OR_RETURN(
+            RandomForest forest,
+            RandomForest::Fit(fold_train[fold], /*weights=*/{}, forest_config));
+        accuracy_sum += forest.Accuracy(fold_valid[fold]);
+      }
+      GridPoint point;
+      point.config = forest_config.tree;
+      point.cv_accuracy = accuracy_sum / static_cast<double>(config.num_folds);
+      if (outcome.evaluated.empty() || point.cv_accuracy > outcome.best_accuracy) {
+        outcome.best = point.config;
+        outcome.best_accuracy = point.cv_accuracy;
+      }
+      outcome.evaluated.push_back(point);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace treewm::forest

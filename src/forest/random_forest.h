@@ -1,0 +1,98 @@
+// Random forest without bootstrap.
+//
+// Matches the model class of the paper (§3.2): every tree trains on the full
+// training set (no bagging) restricted to a random subset of the features;
+// the ensemble prediction aggregates individual votes, and — crucially for
+// black-box watermark verification — the per-tree prediction sequence is
+// exposed (the role R's `predict.all` plays in the paper).
+
+#ifndef TREEWM_FOREST_RANDOM_FOREST_H_
+#define TREEWM_FOREST_RANDOM_FOREST_H_
+
+#include <span>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+
+namespace treewm::forest {
+
+/// Forest-level hyper-parameters (contains the per-tree H of Algorithm 1).
+struct ForestConfig {
+  /// Number of trees m.
+  size_t num_trees = 50;
+  /// Per-tree induction hyper-parameters.
+  tree::TreeConfig tree;
+  /// Fraction of features each tree may use; 0 means sqrt(d)/d (the common
+  /// random-forest default). Each tree draws its own subset.
+  double feature_fraction = 0.0;
+  /// Seed driving feature-subset draws (one fork per tree; training is
+  /// deterministic regardless of thread scheduling).
+  uint64_t seed = 1;
+  /// Degrees of parallelism: 0 uses the process-global pool, 1 is serial.
+  size_t num_threads = 0;
+
+  Status Validate() const;
+};
+
+/// An immutable trained forest.
+class RandomForest {
+ public:
+  /// Trains `config.num_trees` trees on `dataset` with shared per-row
+  /// `weights` (empty = all ones).
+  static Result<RandomForest> Fit(const data::Dataset& dataset,
+                                  const std::vector<double>& weights,
+                                  const ForestConfig& config);
+
+  /// Assembles a forest from pre-trained trees (Algorithm 1's interleave
+  /// step). All trees must agree on num_features.
+  static Result<RandomForest> FromTrees(std::vector<tree::DecisionTree> trees);
+
+  /// Majority-vote label for one instance; ties predict +1 (documented,
+  /// deterministic).
+  int Predict(std::span<const float> row) const;
+
+  /// Per-tree prediction sequence for one instance (the `predict.all`
+  /// behaviour watermark verification relies on).
+  std::vector<int> PredictAll(std::span<const float> row) const;
+
+  /// Majority-vote labels for every row.
+  std::vector<int> PredictBatch(const data::Dataset& dataset) const;
+
+  /// Per-tree predictions for every row; result[i][t] is tree t's vote on
+  /// row i.
+  std::vector<std::vector<int>> PredictAllBatch(const data::Dataset& dataset) const;
+
+  /// Majority-vote accuracy on `dataset`.
+  double Accuracy(const data::Dataset& dataset) const;
+
+  /// Number of trees m.
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Feature dimensionality d.
+  size_t num_features() const { return num_features_; }
+
+  const std::vector<tree::DecisionTree>& trees() const { return trees_; }
+
+  /// Per-tree depths / leaf counts — the structural statistics the detection
+  /// attack (§4.2.1) inspects.
+  std::vector<double> TreeDepths() const;
+  std::vector<double> TreeLeafCounts() const;
+
+  /// Serialization.
+  JsonValue ToJson() const;
+  static Result<RandomForest> FromJson(const JsonValue& json);
+
+ private:
+  RandomForest() = default;
+
+  std::vector<tree::DecisionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace treewm::forest
+
+#endif  // TREEWM_FOREST_RANDOM_FOREST_H_

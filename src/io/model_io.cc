@@ -1,0 +1,121 @@
+#include "io/model_io.h"
+
+#include "common/string_util.h"
+
+namespace treewm::io {
+
+namespace {
+
+Status CheckVersion(const JsonValue& json) {
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* version, json.Get("format_version"));
+  if (version->AsInt64() != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported format version %lld (expected %d)",
+                  static_cast<long long>(version->AsInt64()), kFormatVersion));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveForest(const forest::RandomForest& forest, const std::string& path) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("format_version", JsonValue(kFormatVersion));
+  doc.Set("kind", JsonValue("treewm.forest"));
+  doc.Set("forest", forest.ToJson());
+  return WriteStringToFile(path, doc.Dump());
+}
+
+Result<forest::RandomForest> LoadForest(const std::string& path) {
+  TREEWM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  TREEWM_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(text));
+  TREEWM_RETURN_IF_ERROR(CheckVersion(doc));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* forest_json, doc.Get("forest"));
+  return forest::RandomForest::FromJson(*forest_json);
+}
+
+JsonValue DatasetToJson(const data::Dataset& dataset) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue(dataset.name()));
+  out.Set("num_features", JsonValue(dataset.num_features()));
+  JsonValue rows = JsonValue::MakeArray();
+  JsonValue labels = JsonValue::MakeArray();
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    JsonValue row = JsonValue::MakeArray();
+    for (float v : dataset.Row(i)) row.Append(JsonValue(static_cast<double>(v)));
+    rows.Append(std::move(row));
+    labels.Append(JsonValue(dataset.Label(i)));
+  }
+  out.Set("rows", std::move(rows));
+  out.Set("labels", std::move(labels));
+  return out;
+}
+
+Result<data::Dataset> DatasetFromJson(const JsonValue& json) {
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* num_features, json.Get("num_features"));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* rows, json.Get("rows"));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* labels, json.Get("labels"));
+  if (!rows->is_array() || !labels->is_array() ||
+      rows->AsArray().size() != labels->AsArray().size()) {
+    return Status::ParseError("rows/labels must be parallel arrays");
+  }
+  data::Dataset dataset(static_cast<size_t>(num_features->AsInt64()));
+  if (const JsonValue* name = json.Find("name"); name != nullptr && name->is_string()) {
+    dataset.set_name(name->AsString());
+  }
+  std::vector<float> row;
+  for (size_t i = 0; i < rows->AsArray().size(); ++i) {
+    const JsonValue& row_json = rows->AsArray()[i];
+    if (!row_json.is_array()) return Status::ParseError("row must be an array");
+    row.clear();
+    for (const JsonValue& v : row_json.AsArray()) {
+      row.push_back(static_cast<float>(v.AsDouble()));
+    }
+    TREEWM_RETURN_IF_ERROR(dataset.AddRow(
+        row, static_cast<int>(labels->AsArray()[i].AsInt64())));
+  }
+  return dataset;
+}
+
+WatermarkBundle BundleFrom(const core::WatermarkedModel& watermarked) {
+  return WatermarkBundle{watermarked.model, watermarked.signature,
+                         watermarked.trigger_set};
+}
+
+JsonValue BundleToJson(const WatermarkBundle& bundle) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("format_version", JsonValue(kFormatVersion));
+  doc.Set("kind", JsonValue("treewm.watermark_bundle"));
+  doc.Set("forest", bundle.model.ToJson());
+  doc.Set("signature", bundle.signature.ToJson());
+  doc.Set("trigger_set", DatasetToJson(bundle.trigger_set));
+  return doc;
+}
+
+Result<WatermarkBundle> BundleFromJson(const JsonValue& json) {
+  TREEWM_RETURN_IF_ERROR(CheckVersion(json));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* forest_json, json.Get("forest"));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* signature_json, json.Get("signature"));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* trigger_json, json.Get("trigger_set"));
+  TREEWM_ASSIGN_OR_RETURN(forest::RandomForest model,
+                          forest::RandomForest::FromJson(*forest_json));
+  TREEWM_ASSIGN_OR_RETURN(core::Signature signature,
+                          core::Signature::FromJson(*signature_json));
+  TREEWM_ASSIGN_OR_RETURN(data::Dataset trigger, DatasetFromJson(*trigger_json));
+  if (signature.length() != model.num_trees()) {
+    return Status::ParseError("bundle signature length != model tree count");
+  }
+  return WatermarkBundle{std::move(model), std::move(signature), std::move(trigger)};
+}
+
+Status SaveBundle(const WatermarkBundle& bundle, const std::string& path) {
+  return WriteStringToFile(path, BundleToJson(bundle).Dump());
+}
+
+Result<WatermarkBundle> LoadBundle(const std::string& path) {
+  TREEWM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  TREEWM_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(text));
+  return BundleFromJson(doc);
+}
+
+}  // namespace treewm::io

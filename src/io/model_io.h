@@ -1,0 +1,53 @@
+// Persistence for models and watermark bundles.
+//
+// A watermark bundle is what Alice stores in escrow: the watermarked
+// ensemble, her signature and the trigger set (with original labels). All
+// serialization is JSON — self-describing, versioned, diff-friendly.
+
+#ifndef TREEWM_IO_MODEL_IO_H_
+#define TREEWM_IO_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/signature.h"
+#include "core/watermark.h"
+#include "data/dataset.h"
+#include "forest/random_forest.h"
+
+namespace treewm::io {
+
+/// Format version written into every file.
+inline constexpr int kFormatVersion = 1;
+
+/// Saves a bare forest to `path`.
+Status SaveForest(const forest::RandomForest& forest, const std::string& path);
+
+/// Loads a bare forest from `path`.
+Result<forest::RandomForest> LoadForest(const std::string& path);
+
+/// The escrow bundle: model + signature + trigger set.
+struct WatermarkBundle {
+  forest::RandomForest model;
+  core::Signature signature;
+  data::Dataset trigger_set;
+};
+
+/// Builds a bundle from a watermarking result.
+WatermarkBundle BundleFrom(const core::WatermarkedModel& watermarked);
+
+/// JSON (de)serialization of bundles.
+JsonValue BundleToJson(const WatermarkBundle& bundle);
+Result<WatermarkBundle> BundleFromJson(const JsonValue& json);
+
+/// File round-trip.
+Status SaveBundle(const WatermarkBundle& bundle, const std::string& path);
+Result<WatermarkBundle> LoadBundle(const std::string& path);
+
+/// Dataset <-> JSON helpers (features + labels arrays).
+JsonValue DatasetToJson(const data::Dataset& dataset);
+Result<data::Dataset> DatasetFromJson(const JsonValue& json);
+
+}  // namespace treewm::io
+
+#endif  // TREEWM_IO_MODEL_IO_H_

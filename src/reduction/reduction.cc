@@ -1,0 +1,113 @@
+#include "reduction/reduction.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace treewm::reduction {
+
+namespace {
+
+using tree::TreeNode;
+
+/// Appends the paper's JlK / Jl ∨ ψ'K construction for the clause suffix
+/// starting at `pos`; returns the index of the created subtree root.
+int BuildClauseSubtree(const std::vector<sat::Lit>& clause, size_t pos,
+                       std::vector<TreeNode>* nodes) {
+  const sat::Lit l = clause[pos];
+  const int self = static_cast<int>(nodes->size());
+  nodes->push_back(TreeNode{});
+  TreeNode& node = (*nodes)[static_cast<size_t>(self)];
+  node.feature = l.var();
+  node.threshold = 0.0f;
+
+  auto add_leaf = [nodes](int label) {
+    const int idx = static_cast<int>(nodes->size());
+    TreeNode leaf;
+    leaf.feature = -1;
+    leaf.label = label;
+    nodes->push_back(leaf);
+    return idx;
+  };
+
+  const bool last = pos + 1 == clause.size();
+  if (!l.negated()) {
+    // J x K           = N(x<=0, L(-1), L(+1))
+    // J x ∨ ψ' K      = N(x<=0, Jψ'K, L(+1))
+    const int left = last ? add_leaf(-1) : BuildClauseSubtree(clause, pos + 1, nodes);
+    const int right = add_leaf(+1);
+    (*nodes)[static_cast<size_t>(self)].left = left;
+    (*nodes)[static_cast<size_t>(self)].right = right;
+  } else {
+    // J ¬x K          = N(x<=0, L(+1), L(-1))
+    // J ¬x ∨ ψ' K     = N(x<=0, L(+1), Jψ'K)
+    const int left = add_leaf(+1);
+    const int right = last ? add_leaf(-1) : BuildClauseSubtree(clause, pos + 1, nodes);
+    (*nodes)[static_cast<size_t>(self)].left = left;
+    (*nodes)[static_cast<size_t>(self)].right = right;
+  }
+  return self;
+}
+
+}  // namespace
+
+Result<forest::RandomForest> FormulaToEnsemble(const ThreeCnf& formula) {
+  TREEWM_RETURN_IF_ERROR(formula.Validate());
+  if (formula.clauses.empty()) {
+    return Status::InvalidArgument("formula needs at least one clause");
+  }
+  std::vector<tree::DecisionTree> trees;
+  trees.reserve(formula.clauses.size());
+  for (const auto& clause : formula.clauses) {
+    std::vector<TreeNode> nodes;
+    const int root = BuildClauseSubtree(clause, 0, &nodes);
+    assert(root == 0);
+    (void)root;
+    TREEWM_ASSIGN_OR_RETURN(
+        tree::DecisionTree t,
+        tree::DecisionTree::FromNodes(std::move(nodes),
+                                      static_cast<size_t>(formula.num_vars)));
+    trees.push_back(std::move(t));
+  }
+  return forest::RandomForest::FromTrees(std::move(trees));
+}
+
+smt::ForgeryQuery ReductionQuery(size_t num_trees) {
+  smt::ForgeryQuery query;
+  query.signature_bits.assign(num_trees, 0);
+  query.target_label = +1;
+  query.domain_lo = -1.0;
+  query.domain_hi = +1.0;
+  return query;
+}
+
+std::vector<bool> WitnessToAssignment(std::span<const float> witness) {
+  std::vector<bool> assignment(witness.size());
+  for (size_t j = 0; j < witness.size(); ++j) assignment[j] = witness[j] > 0.0f;
+  return assignment;
+}
+
+Result<std::vector<bool>> SolveThreeSatViaForgery(const ThreeCnf& formula,
+                                                  uint64_t max_nodes) {
+  TREEWM_ASSIGN_OR_RETURN(forest::RandomForest ensemble, FormulaToEnsemble(formula));
+  smt::ForgeryQuery query = ReductionQuery(ensemble.num_trees());
+  query.max_nodes = max_nodes;
+  TREEWM_ASSIGN_OR_RETURN(smt::ForgeryOutcome outcome,
+                          smt::ForgerySolver::Solve(ensemble, query));
+  switch (outcome.result) {
+    case sat::SatResult::kSat: {
+      std::vector<bool> assignment = WitnessToAssignment(outcome.witness);
+      if (!formula.Evaluate(assignment)) {
+        return Status::Internal("reduction produced a non-satisfying assignment");
+      }
+      return assignment;
+    }
+    case sat::SatResult::kUnsat:
+      return Status::NotFound("formula is unsatisfiable");
+    case sat::SatResult::kUnknown:
+      return Status::Timeout("forgery search budget exhausted");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace treewm::reduction

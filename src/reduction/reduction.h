@@ -1,0 +1,40 @@
+// Theorem 1: the 3SAT -> watermark-forgery reduction.
+//
+// Implements the conversion function J·K from the paper's NP-hardness proof:
+// each 3CNF clause ψ_i becomes a decision tree of depth <= 3 over threshold-0
+// tests, such that φ is satisfiable iff the forgery problem has a solution
+// for the ensemble JφK with label y = +1 and the all-zeros signature.
+// Variable x_j is decoded as true iff the j-th witness component is positive.
+
+#ifndef TREEWM_REDUCTION_REDUCTION_H_
+#define TREEWM_REDUCTION_REDUCTION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "forest/random_forest.h"
+#include "reduction/three_cnf.h"
+#include "smt/forgery_solver.h"
+
+namespace treewm::reduction {
+
+/// Builds the ensemble JφK (one tree per clause, thresholds all 0).
+Result<forest::RandomForest> FormulaToEnsemble(const ThreeCnf& formula);
+
+/// The forgery query of the reduction: label +1, signature all zeros, and a
+/// symmetric domain [-1, 1] so both outcomes of every "x <= 0" test are
+/// realizable.
+smt::ForgeryQuery ReductionQuery(size_t num_trees);
+
+/// Decodes a forgery witness into a Boolean assignment (x_j := witness_j > 0).
+std::vector<bool> WitnessToAssignment(std::span<const float> witness);
+
+/// End-to-end check: solves 3SAT via the forgery solver. Returns the
+/// satisfying assignment, or NotFound when unsatisfiable.
+Result<std::vector<bool>> SolveThreeSatViaForgery(const ThreeCnf& formula,
+                                                  uint64_t max_nodes = 0);
+
+}  // namespace treewm::reduction
+
+#endif  // TREEWM_REDUCTION_REDUCTION_H_

@@ -1,0 +1,24 @@
+#include "sat/clause.h"
+
+#include "common/string_util.h"
+
+namespace treewm::sat {
+
+std::string Lit::ToString() const {
+  if (code_ < 0) return "lit?";
+  return StrFormat("%sx%d", negated() ? "~" : "", var());
+}
+
+const char* SatResultName(SatResult result) {
+  switch (result) {
+    case SatResult::kSat:
+      return "sat";
+    case SatResult::kUnsat:
+      return "unsat";
+    case SatResult::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace treewm::sat

@@ -1,0 +1,98 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "sat/solver.h"
+
+namespace treewm::sat {
+
+Result<CnfFormula> ParseDimacs(const std::string& text) {
+  CnfFormula formula;
+  bool saw_header = false;
+  int declared_clauses = 0;
+  std::vector<Lit> current;
+
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == 'c') continue;
+    if (trimmed[0] == 'p') {
+      std::istringstream header{std::string(trimmed)};
+      std::string p;
+      std::string cnf;
+      header >> p >> cnf >> formula.num_vars >> declared_clauses;
+      if (p != "p" || cnf != "cnf" || formula.num_vars < 0 || declared_clauses < 0 ||
+          header.fail()) {
+        return Status::ParseError(StrFormat("line %zu: malformed 'p cnf' header",
+                                            line_no));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::ParseError(StrFormat("line %zu: clause before header", line_no));
+    }
+    std::istringstream body{std::string(trimmed)};
+    long long value;
+    while (body >> value) {
+      if (value == 0) {
+        formula.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const long long var = value > 0 ? value : -value;
+      if (var > formula.num_vars) {
+        return Status::ParseError(
+            StrFormat("line %zu: variable %lld exceeds declared %d", line_no, var,
+                      formula.num_vars));
+      }
+      current.push_back(Lit::Make(static_cast<Var>(var - 1), value < 0));
+    }
+    if (!body.eof()) {
+      return Status::ParseError(StrFormat("line %zu: bad token", line_no));
+    }
+  }
+  if (!saw_header) return Status::ParseError("missing 'p cnf' header");
+  if (!current.empty()) {
+    return Status::ParseError("last clause not terminated by 0");
+  }
+  if (declared_clauses != static_cast<int>(formula.clauses.size())) {
+    return Status::ParseError(
+        StrFormat("header declares %d clauses, found %zu", declared_clauses,
+                  formula.clauses.size()));
+  }
+  return formula;
+}
+
+Result<CnfFormula> LoadDimacs(const std::string& path) {
+  TREEWM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseDimacs(text);
+}
+
+std::string ToDimacs(const CnfFormula& formula) {
+  std::ostringstream out;
+  out << "p cnf " << formula.num_vars << ' ' << formula.clauses.size() << '\n';
+  for (const auto& clause : formula.clauses) {
+    for (const Lit& l : clause) {
+      const int v = l.var() + 1;
+      out << (l.negated() ? -v : v) << ' ';
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+bool LoadIntoSolver(const CnfFormula& formula, Solver* solver) {
+  solver->EnsureVars(formula.num_vars);
+  for (const auto& clause : formula.clauses) {
+    if (!solver->AddClause(clause)) return false;
+  }
+  return true;
+}
+
+}  // namespace treewm::sat

@@ -1,0 +1,41 @@
+// DIMACS CNF reader/writer.
+//
+// The standard exchange format for SAT instances: "p cnf <vars> <clauses>"
+// header, clauses as whitespace-separated non-zero integers terminated by 0,
+// 'c' comment lines. Used by tests and the NP-hardness harness.
+
+#ifndef TREEWM_SAT_DIMACS_H_
+#define TREEWM_SAT_DIMACS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sat/clause.h"
+
+namespace treewm::sat {
+
+class Solver;
+
+/// An immutable CNF formula in memory.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS text.
+Result<CnfFormula> ParseDimacs(const std::string& text);
+
+/// Loads a DIMACS file.
+Result<CnfFormula> LoadDimacs(const std::string& path);
+
+/// Serializes to DIMACS text.
+std::string ToDimacs(const CnfFormula& formula);
+
+/// Loads `formula` into `solver` (creating variables as needed). Returns
+/// false if the formula is trivially unsatisfiable during loading.
+bool LoadIntoSolver(const CnfFormula& formula, Solver* solver);
+
+}  // namespace treewm::sat
+
+#endif  // TREEWM_SAT_DIMACS_H_

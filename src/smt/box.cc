@@ -1,0 +1,81 @@
+#include "smt/box.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace treewm::smt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Box::Box(size_t num_features) : intervals_(num_features, Interval{-kInf, kInf}) {}
+
+bool Box::Constrain(int f, double lo, double hi) {
+  Interval& current = intervals_[static_cast<size_t>(f)];
+  const double new_lo = std::max(current.lo, lo);
+  const double new_hi = std::min(current.hi, hi);
+  if (!(new_lo < new_hi)) return false;
+  if (new_lo == current.lo && new_hi == current.hi) return true;  // no change
+  trail_.emplace_back(f, current);
+  current = Interval{new_lo, new_hi};
+  return true;
+}
+
+bool Box::ConstrainClosed(int f, double a, double b) {
+  // (lo, hi] cannot express a closed lower bound exactly; nudge `a` down by
+  // one representable double so a itself remains feasible. Features are
+  // float32, so the nudge is far below measurement resolution.
+  const double lo = std::nextafter(a, -kInf);
+  return Constrain(f, lo, b);
+}
+
+bool Box::CompatibleWith(int f, double lo, double hi) const {
+  const Interval& current = intervals_[static_cast<size_t>(f)];
+  return std::max(current.lo, lo) < std::min(current.hi, hi);
+}
+
+void Box::RevertTo(size_t mark) {
+  assert(mark <= trail_.size());
+  while (trail_.size() > mark) {
+    const auto& [f, interval] = trail_.back();
+    intervals_[static_cast<size_t>(f)] = interval;
+    trail_.pop_back();
+  }
+}
+
+std::vector<float> Box::Witness(std::span<const float> anchor) const {
+  std::vector<float> out(intervals_.size());
+  for (size_t f = 0; f < intervals_.size(); ++f) {
+    const Interval& iv = intervals_[f];
+    assert(!iv.Empty());
+    double x;
+    if (!anchor.empty()) {
+      x = std::clamp(static_cast<double>(anchor[f]), iv.lo, iv.hi);
+      if (!(x > iv.lo)) {
+        // Anchor clamped onto the excluded lower endpoint: move inside.
+        x = std::isfinite(iv.hi) ? (iv.lo + iv.hi) / 2.0
+                                 : std::nextafter(iv.lo, kInf);
+      }
+    } else if (std::isfinite(iv.lo) && std::isfinite(iv.hi)) {
+      x = (iv.lo + iv.hi) / 2.0;
+    } else if (std::isfinite(iv.hi)) {
+      x = iv.hi;
+    } else if (std::isfinite(iv.lo)) {
+      x = std::nextafter(iv.lo, kInf);
+    } else {
+      x = 0.0;
+    }
+    // Snap to float32 without leaving the interval.
+    constexpr float kFloatInf = std::numeric_limits<float>::infinity();
+    float xf = static_cast<float>(x);
+    if (static_cast<double>(xf) <= iv.lo) xf = std::nextafter(xf, kFloatInf);
+    if (static_cast<double>(xf) > iv.hi) xf = std::nextafter(xf, -kFloatInf);
+    out[f] = xf;
+  }
+  return out;
+}
+
+}  // namespace treewm::smt

@@ -1,0 +1,179 @@
+#include "smt/cnf_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/string_util.h"
+#include "smt/tree_constraints.h"
+
+namespace treewm::smt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Atom bookkeeping for one feature: sorted thresholds and their variables.
+struct FeatureAtoms {
+  std::vector<double> thresholds;  // sorted, unique
+  std::vector<sat::Var> vars;      // parallel to thresholds
+
+  /// Variable of predicate "x_f <= v"; v must be a known threshold.
+  sat::Var VarFor(double v) const {
+    const auto it = std::lower_bound(thresholds.begin(), thresholds.end(), v);
+    assert(it != thresholds.end() && *it == v);
+    return vars[static_cast<size_t>(it - thresholds.begin())];
+  }
+};
+
+}  // namespace
+
+Result<ForgeryOutcome> CnfForgeryBackend::Solve(const forest::RandomForest& forest,
+                                                const ForgeryQuery& query,
+                                                const sat::SolveBudget& budget,
+                                                CnfEncodingStats* stats_out) {
+  const size_t d = forest.num_features();
+  if (!query.anchor.empty() && query.anchor.size() != d) {
+    return Status::InvalidArgument("anchor dimensionality mismatch");
+  }
+  TREEWM_ASSIGN_OR_RETURN(
+      std::vector<TreeRequirement> requirements,
+      BuildTreeRequirements(forest, query.signature_bits, query.target_label));
+
+  // Per-feature closed bounds from domain ∩ ball.
+  std::vector<double> lo_bound(d, query.domain_lo);
+  std::vector<double> hi_bound(d, query.domain_hi);
+  for (size_t f = 0; f < d; ++f) {
+    if (!query.anchor.empty()) {
+      lo_bound[f] = std::max(lo_bound[f],
+                             static_cast<double>(query.anchor[f]) - query.epsilon);
+      hi_bound[f] = std::min(hi_bound[f],
+                             static_cast<double>(query.anchor[f]) + query.epsilon);
+    }
+    if (lo_bound[f] > hi_bound[f]) {
+      ForgeryOutcome outcome;
+      outcome.result = sat::SatResult::kUnsat;
+      return outcome;
+    }
+  }
+
+  // Collect the thresholds each requirement mentions.
+  std::map<int, std::vector<double>> thresholds_by_feature;
+  for (const TreeRequirement& req : requirements) {
+    for (const LeafOption& option : req.options) {
+      for (const auto& c : option.constraints) {
+        if (std::isfinite(c.lo)) thresholds_by_feature[c.feature].push_back(c.lo);
+        if (std::isfinite(c.hi)) thresholds_by_feature[c.feature].push_back(c.hi);
+      }
+    }
+  }
+
+  sat::Solver solver;
+  CnfEncodingStats stats;
+  std::map<int, FeatureAtoms> atoms;
+  bool consistent = true;
+  for (auto& [feature, values] : thresholds_by_feature) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    FeatureAtoms fa;
+    fa.thresholds = values;
+    fa.vars.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) fa.vars.push_back(solver.NewVar());
+    stats.num_atom_vars += values.size();
+    // Ordering: (x <= v_i) -> (x <= v_{i+1}).
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      consistent &= solver.AddClause({sat::Lit::Make(fa.vars[i], true),
+                                      sat::Lit::Make(fa.vars[i + 1], false)});
+      ++stats.num_clauses;
+    }
+    // Domain/ball units: v < lo  =>  atom false;  v >= hi  =>  atom true.
+    const size_t fidx = static_cast<size_t>(feature);
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] < lo_bound[fidx]) {
+        consistent &= solver.AddClause({sat::Lit::Make(fa.vars[i], true)});
+        ++stats.num_clauses;
+      } else if (values[i] >= hi_bound[fidx]) {
+        consistent &= solver.AddClause({sat::Lit::Make(fa.vars[i], false)});
+        ++stats.num_clauses;
+      }
+    }
+    atoms.emplace(feature, std::move(fa));
+  }
+
+  // Leaf selectors and per-tree disjunctions.
+  for (const TreeRequirement& req : requirements) {
+    std::vector<sat::Lit> any_leaf;
+    for (const LeafOption& option : req.options) {
+      const sat::Var selector = solver.NewVar();
+      ++stats.num_selector_vars;
+      any_leaf.push_back(sat::Lit::Make(selector, false));
+      for (const auto& c : option.constraints) {
+        const FeatureAtoms& fa = atoms.at(c.feature);
+        if (std::isfinite(c.hi)) {
+          // selector -> (x <= hi)
+          consistent &= solver.AddClause({sat::Lit::Make(selector, true),
+                                          sat::Lit::Make(fa.VarFor(c.hi), false)});
+          ++stats.num_clauses;
+        }
+        if (std::isfinite(c.lo)) {
+          // selector -> not (x <= lo)
+          consistent &= solver.AddClause({sat::Lit::Make(selector, true),
+                                          sat::Lit::Make(fa.VarFor(c.lo), true)});
+          ++stats.num_clauses;
+        }
+      }
+    }
+    if (any_leaf.empty()) {
+      ForgeryOutcome outcome;
+      outcome.result = sat::SatResult::kUnsat;
+      return outcome;
+    }
+    consistent &= solver.AddClause(std::move(any_leaf));
+    ++stats.num_clauses;
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+
+  ForgeryOutcome outcome;
+  if (!consistent) {
+    outcome.result = sat::SatResult::kUnsat;
+    return outcome;
+  }
+  const sat::SatResult result = solver.Solve(budget);
+  outcome.nodes_explored = solver.stats().conflicts;
+  outcome.result = result;
+  if (result != sat::SatResult::kSat) return outcome;
+
+  // Decode: tightest interval per feature from atom truth values, then pick
+  // a witness near the anchor.
+  Box box(d);
+  for (size_t f = 0; f < d; ++f) {
+    if (!box.ConstrainClosed(static_cast<int>(f), lo_bound[f], hi_bound[f])) {
+      return Status::Internal("decode: domain constraint became empty");
+    }
+  }
+  for (const auto& [feature, fa] : atoms) {
+    double lo = -kInf;
+    double hi = kInf;
+    for (size_t i = 0; i < fa.thresholds.size(); ++i) {
+      if (solver.ModelValue(fa.vars[i])) {
+        hi = fa.thresholds[i];  // first true atom is the tightest upper bound
+        break;
+      }
+      lo = fa.thresholds[i];  // false atom: x > threshold
+    }
+    if (!box.Constrain(feature, lo, hi)) {
+      return Status::Internal("decode: inconsistent atom assignment");
+    }
+  }
+  outcome.witness = box.Witness(query.anchor);
+  outcome.validated = ForgerySolver::PatternHolds(forest, query.signature_bits,
+                                                  query.target_label, outcome.witness);
+  if (!outcome.validated) {
+    return Status::Internal("CNF-backend witness failed ensemble validation");
+  }
+  return outcome;
+}
+
+}  // namespace treewm::smt

@@ -1,0 +1,174 @@
+#include "smt/forgery_solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace treewm::smt {
+
+namespace {
+
+/// Mutable search state shared across the recursion.
+struct SearchState {
+  Box box;
+  std::vector<TreeRequirement> requirements;
+  std::vector<uint8_t> assigned;  // per requirement
+  size_t num_assigned = 0;
+  uint64_t nodes = 0;
+  uint64_t max_nodes = 0;
+  bool budget_exhausted = false;
+
+  explicit SearchState(size_t num_features) : box(num_features) {}
+};
+
+bool OptionCompatible(const Box& box, const LeafOption& option) {
+  for (const auto& c : option.constraints) {
+    if (!box.CompatibleWith(c.feature, c.lo, c.hi)) return false;
+  }
+  return true;
+}
+
+/// Applies all constraints of `option`; on failure reverts and returns false.
+bool ApplyOption(Box* box, const LeafOption& option) {
+  const size_t mark = box->Mark();
+  for (const auto& c : option.constraints) {
+    if (!box->Constrain(c.feature, c.lo, c.hi)) {
+      box->RevertTo(mark);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Depth-first search with dynamic fail-first requirement selection.
+bool Search(SearchState* state) {
+  if (state->num_assigned == state->requirements.size()) return true;
+  ++state->nodes;
+  if (state->max_nodes != 0 && state->nodes > state->max_nodes) {
+    state->budget_exhausted = true;
+    return false;
+  }
+
+  // Pick the unassigned requirement with the fewest box-compatible options.
+  size_t best_req = state->requirements.size();
+  size_t best_count = SIZE_MAX;
+  for (size_t r = 0; r < state->requirements.size(); ++r) {
+    if (state->assigned[r]) continue;
+    size_t count = 0;
+    for (const LeafOption& option : state->requirements[r].options) {
+      if (OptionCompatible(state->box, option)) {
+        ++count;
+        if (count >= best_count) break;  // cannot beat the champion
+      }
+    }
+    if (count == 0) return false;  // dead end: some tree has no feasible leaf
+    if (count < best_count) {
+      best_count = count;
+      best_req = r;
+      if (count == 1) break;  // forced choice; no better selection exists
+    }
+  }
+  assert(best_req < state->requirements.size());
+
+  state->assigned[best_req] = 1;
+  ++state->num_assigned;
+  for (const LeafOption& option : state->requirements[best_req].options) {
+    if (!OptionCompatible(state->box, option)) continue;
+    const size_t mark = state->box.Mark();
+    if (!ApplyOption(&state->box, option)) continue;
+    if (Search(state)) return true;
+    state->box.RevertTo(mark);
+    if (state->budget_exhausted) break;
+  }
+  state->assigned[best_req] = 0;
+  --state->num_assigned;
+  return false;
+}
+
+}  // namespace
+
+Result<ForgeryOutcome> ForgerySolver::Solve(const forest::RandomForest& forest,
+                                            const ForgeryQuery& query) {
+  const size_t d = forest.num_features();
+  if (!query.anchor.empty() && query.anchor.size() != d) {
+    return Status::InvalidArgument(
+        StrFormat("anchor has %zu features, forest expects %zu", query.anchor.size(),
+                  d));
+  }
+  if (query.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  if (query.domain_lo > query.domain_hi) {
+    return Status::InvalidArgument("empty feature domain");
+  }
+
+  TREEWM_ASSIGN_OR_RETURN(
+      std::vector<TreeRequirement> requirements,
+      BuildTreeRequirements(forest, query.signature_bits, query.target_label));
+
+  SearchState state(d);
+  state.requirements = std::move(requirements);
+  state.max_nodes = query.max_nodes;
+
+  // Domain and ball constraints.
+  for (size_t f = 0; f < d; ++f) {
+    double lo = query.domain_lo;
+    double hi = query.domain_hi;
+    if (!query.anchor.empty()) {
+      lo = std::max(lo, static_cast<double>(query.anchor[f]) - query.epsilon);
+      hi = std::min(hi, static_cast<double>(query.anchor[f]) + query.epsilon);
+    }
+    if (lo > hi || !state.box.ConstrainClosed(static_cast<int>(f), lo, hi)) {
+      ForgeryOutcome outcome;
+      outcome.result = sat::SatResult::kUnsat;
+      return outcome;
+    }
+  }
+
+  // Static pre-filter: drop leaves incompatible with the initial box. If any
+  // tree loses all its options the query is UNSAT outright.
+  FilterOptions(state.box, &state.requirements);
+  for (const TreeRequirement& req : state.requirements) {
+    if (req.options.empty()) {
+      ForgeryOutcome outcome;
+      outcome.result = sat::SatResult::kUnsat;
+      return outcome;
+    }
+  }
+
+  state.assigned.assign(state.requirements.size(), 0);
+  const bool found = Search(&state);
+
+  ForgeryOutcome outcome;
+  outcome.nodes_explored = state.nodes;
+  if (found) {
+    outcome.witness = state.box.Witness(query.anchor);
+    outcome.validated = PatternHolds(forest, query.signature_bits, query.target_label,
+                                     outcome.witness);
+    if (!outcome.validated) {
+      // Float rounding nudged the witness across a threshold (vanishingly
+      // rare). Treat as internal error rather than report a bogus model.
+      return Status::Internal("forgery witness failed ensemble validation");
+    }
+    outcome.result = sat::SatResult::kSat;
+  } else if (state.budget_exhausted) {
+    outcome.result = sat::SatResult::kUnknown;
+  } else {
+    outcome.result = sat::SatResult::kUnsat;
+  }
+  return outcome;
+}
+
+bool ForgerySolver::PatternHolds(const forest::RandomForest& forest,
+                                 const std::vector<uint8_t>& signature_bits,
+                                 int target_label, std::span<const float> witness) {
+  if (signature_bits.size() != forest.num_trees()) return false;
+  const std::vector<int> votes = forest.PredictAll(witness);
+  for (size_t t = 0; t < votes.size(); ++t) {
+    if (votes[t] != RequiredLabel(target_label, signature_bits[t])) return false;
+  }
+  return true;
+}
+
+}  // namespace treewm::smt

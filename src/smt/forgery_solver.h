@@ -1,0 +1,72 @@
+// Complete decision procedure for the watermark forgery problem.
+//
+// Plays the role Z3 plays in the paper's §4.2.2: given an ensemble T, a
+// (fake) signature σ' and a label y, decide whether some instance x — here
+// optionally confined to an L∞ ball around a real test instance and to the
+// [0,1] feature domain — makes every tree output the σ'-required label, and
+// produce such an x when one exists.
+//
+// The theory is a conjunction over trees of disjunctions of axis-aligned
+// boxes, so a branch-and-propagate search over per-tree leaf choices with
+// dynamic fail-first tree ordering is complete. A node budget stands in for
+// Z3's wall-clock timeout (deterministic across machines). Results are
+// validated against the actual ensemble before being reported SAT.
+
+#ifndef TREEWM_SMT_FORGERY_SOLVER_H_
+#define TREEWM_SMT_FORGERY_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "forest/random_forest.h"
+#include "sat/clause.h"
+#include "smt/box.h"
+#include "smt/tree_constraints.h"
+
+namespace treewm::smt {
+
+/// One forgery query: find x with t_i(x) = label ⇔ bits[i] = 0, subject to
+/// x ∈ [domain_lo, domain_hi]^d and, when `anchor` is non-empty,
+/// ‖x − anchor‖_∞ <= epsilon.
+struct ForgeryQuery {
+  std::vector<uint8_t> signature_bits;
+  int target_label = +1;
+  std::vector<float> anchor;  ///< empty = unconstrained ball
+  double epsilon = 1.0;
+  double domain_lo = 0.0;
+  double domain_hi = 1.0;
+  /// Search budget in explored nodes; 0 = unlimited.
+  uint64_t max_nodes = 0;
+};
+
+/// Result of a forgery attempt.
+struct ForgeryOutcome {
+  sat::SatResult result = sat::SatResult::kUnknown;
+  /// A validated forged instance when result == kSat.
+  std::vector<float> witness;
+  /// Search effort (nodes expanded).
+  uint64_t nodes_explored = 0;
+  /// True when the witness was checked against the ensemble (always the case
+  /// for kSat results).
+  bool validated = false;
+};
+
+/// The branch-and-propagate forgery solver.
+class ForgerySolver {
+ public:
+  /// Decides `query` against `forest`.
+  static Result<ForgeryOutcome> Solve(const forest::RandomForest& forest,
+                                      const ForgeryQuery& query);
+
+  /// Checks that `witness` actually induces the required output pattern —
+  /// the acceptance test Charlie would run.
+  static bool PatternHolds(const forest::RandomForest& forest,
+                           const std::vector<uint8_t>& signature_bits,
+                           int target_label, std::span<const float> witness);
+};
+
+}  // namespace treewm::smt
+
+#endif  // TREEWM_SMT_FORGERY_SOLVER_H_

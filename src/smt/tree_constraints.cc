@@ -1,0 +1,65 @@
+#include "smt/tree_constraints.h"
+
+#include "common/string_util.h"
+
+namespace treewm::smt {
+
+int RequiredLabel(int target_label, uint8_t signature_bit) {
+  return signature_bit == 0 ? target_label : -target_label;
+}
+
+Result<std::vector<TreeRequirement>> BuildTreeRequirements(
+    const forest::RandomForest& forest, const std::vector<uint8_t>& signature_bits,
+    int target_label) {
+  if (signature_bits.size() != forest.num_trees()) {
+    return Status::InvalidArgument(
+        StrFormat("signature has %zu bits but forest has %zu trees",
+                  signature_bits.size(), forest.num_trees()));
+  }
+  if (target_label != +1 && target_label != -1) {
+    return Status::InvalidArgument("target label must be +1 or -1");
+  }
+  std::vector<TreeRequirement> requirements;
+  requirements.reserve(forest.num_trees());
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    TreeRequirement req;
+    req.tree_index = t;
+    req.required_label = RequiredLabel(target_label, signature_bits[t]);
+    for (auto& leaf : forest.trees()[t].ExtractLeaves()) {
+      if (leaf.label != req.required_label) continue;
+      LeafOption option;
+      option.leaf_node = leaf.node_index;
+      option.constraints = std::move(leaf.constraints);
+      req.options.push_back(std::move(option));
+    }
+    requirements.push_back(std::move(req));
+  }
+  return requirements;
+}
+
+namespace {
+
+bool OptionCompatible(const Box& box, const LeafOption& option) {
+  for (const auto& c : option.constraints) {
+    if (!box.CompatibleWith(c.feature, c.lo, c.hi)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t FilterOptions(const Box& box, std::vector<TreeRequirement>* requirements) {
+  size_t total = 0;
+  for (TreeRequirement& req : *requirements) {
+    std::vector<LeafOption> kept;
+    kept.reserve(req.options.size());
+    for (LeafOption& option : req.options) {
+      if (OptionCompatible(box, option)) kept.push_back(std::move(option));
+    }
+    req.options = std::move(kept);
+    total += req.options.size();
+  }
+  return total;
+}
+
+}  // namespace treewm::smt

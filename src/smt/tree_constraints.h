@@ -1,0 +1,50 @@
+// Translation of "tree t must output label y" into leaf-box alternatives.
+//
+// The watermark forgery problem (paper Definition 1) asks for an instance x
+// with t_i(x) = y ⇔ σ_i = 0 for every tree. Per tree this is a disjunction
+// over the leaves carrying the required label; each leaf is an axis-aligned
+// box (§3.3's formula φ is exactly this structure).
+
+#ifndef TREEWM_SMT_TREE_CONSTRAINTS_H_
+#define TREEWM_SMT_TREE_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "forest/random_forest.h"
+#include "smt/box.h"
+#include "tree/decision_tree.h"
+
+namespace treewm::smt {
+
+/// One admissible leaf: the sparse conjunction of interval constraints that
+/// routes an instance to a leaf with the required label.
+struct LeafOption {
+  int leaf_node = -1;
+  std::vector<tree::DecisionTree::PathConstraint> constraints;
+};
+
+/// The per-tree disjunction of admissible leaves.
+struct TreeRequirement {
+  size_t tree_index = 0;
+  int required_label = 0;
+  std::vector<LeafOption> options;
+};
+
+/// Required output of tree i under signature bit b_i and target label y:
+/// y when b_i = 0, the opposite label when b_i = 1.
+int RequiredLabel(int target_label, uint8_t signature_bit);
+
+/// Builds the per-tree requirements for the forgery query (ensemble, σ', y).
+/// `signature_bits.size()` must equal the number of trees.
+Result<std::vector<TreeRequirement>> BuildTreeRequirements(
+    const forest::RandomForest& forest, const std::vector<uint8_t>& signature_bits,
+    int target_label);
+
+/// Drops leaf options incompatible with `box`; removes nothing from `box`.
+/// Returns the number of options remaining across all requirements.
+size_t FilterOptions(const Box& box, std::vector<TreeRequirement>* requirements);
+
+}  // namespace treewm::smt
+
+#endif  // TREEWM_SMT_TREE_CONSTRAINTS_H_

@@ -1,0 +1,368 @@
+#include "tree/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/string_util.h"
+#include "tree/splitter.h"
+
+namespace treewm::tree {
+
+Status TreeConfig::Validate() const {
+  if (max_depth < -1 || max_depth == 0) {
+    return Status::InvalidArgument("max_depth must be -1 (unlimited) or >= 1");
+  }
+  if (max_leaf_nodes < -1 || max_leaf_nodes == 0 || max_leaf_nodes == 1) {
+    return Status::InvalidArgument("max_leaf_nodes must be -1 (unlimited) or >= 2");
+  }
+  if (min_samples_split < 2) {
+    return Status::InvalidArgument("min_samples_split must be >= 2");
+  }
+  if (min_samples_leaf < 1) {
+    return Status::InvalidArgument("min_samples_leaf must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// A frontier node awaiting expansion in best-first growth.
+struct FrontierEntry {
+  double gain;
+  uint64_t sequence;  // deterministic FIFO tie-break
+  int node_index;
+  int depth;
+  std::vector<size_t> indices;
+  SplitCandidate split;
+};
+
+struct FrontierCompare {
+  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;  // max-heap on gain
+    return a.sequence > b.sequence;                // then FIFO
+  }
+};
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Fit(const data::Dataset& dataset,
+                                       const std::vector<double>& weights,
+                                       const TreeConfig& config,
+                                       const std::vector<int>& feature_subset) {
+  TREEWM_RETURN_IF_ERROR(config.Validate());
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit a tree on an empty dataset");
+  }
+  if (!weights.empty() && weights.size() != dataset.num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("weights size %zu != rows %zu", weights.size(), dataset.num_rows()));
+  }
+  for (int f : feature_subset) {
+    if (f < 0 || static_cast<size_t>(f) >= dataset.num_features()) {
+      return Status::InvalidArgument(StrFormat("feature %d out of range", f));
+    }
+  }
+
+  const std::vector<double> unit_weights =
+      weights.empty() ? std::vector<double>(dataset.num_rows(), 1.0)
+                      : std::vector<double>();
+  const std::vector<double>& w = weights.empty() ? unit_weights : weights;
+
+  std::vector<int> features = feature_subset;
+  if (features.empty()) {
+    features.resize(dataset.num_features());
+    for (size_t j = 0; j < dataset.num_features(); ++j) features[j] = static_cast<int>(j);
+  }
+
+  Splitter splitter(dataset, w, config.criterion);
+
+  DecisionTree tree;
+  tree.num_features_ = dataset.num_features();
+  tree.feature_subset_ = feature_subset;
+
+  std::vector<size_t> root_indices(dataset.num_rows());
+  for (size_t i = 0; i < dataset.num_rows(); ++i) root_indices[i] = i;
+  const ClassWeights root_weights = splitter.ComputeWeights(root_indices);
+
+  TreeNode root;
+  root.label = root_weights.MajorityLabel();
+  tree.nodes_.push_back(root);
+
+  // Best-first frontier. With max_leaf_nodes == -1 the expansion order does
+  // not change the final tree (greedy splits are node-local), so a single
+  // code path serves both growth modes.
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, FrontierCompare>
+      frontier;
+  uint64_t sequence = 0;
+
+  auto try_enqueue = [&](int node_index, int depth, std::vector<size_t> indices,
+                         const ClassWeights& node_weights) {
+    if (config.max_depth != -1 && depth >= config.max_depth) return;
+    if (indices.size() < config.min_samples_split) return;
+    if (node_weights.positive <= 0.0 || node_weights.negative <= 0.0) return;  // pure
+    std::optional<SplitCandidate> split = splitter.FindBestSplit(
+        indices, features, node_weights, config.min_samples_leaf);
+    if (!split) return;
+    frontier.push(FrontierEntry{split->gain, sequence++, node_index, depth,
+                                std::move(indices), *split});
+  };
+
+  try_enqueue(0, 0, std::move(root_indices), root_weights);
+
+  int64_t splits_remaining = config.max_leaf_nodes == -1
+                                 ? std::numeric_limits<int64_t>::max()
+                                 : config.max_leaf_nodes - 1;
+
+  std::vector<size_t> left_indices;
+  std::vector<size_t> right_indices;
+  while (!frontier.empty() && splits_remaining > 0) {
+    // priority_queue::top returns const&; copy out the small fields and move
+    // the index vector via const_cast-free re-pop pattern.
+    FrontierEntry entry = std::move(const_cast<FrontierEntry&>(frontier.top()));
+    frontier.pop();
+    --splits_remaining;
+
+    splitter.Partition(entry.indices, entry.split, &left_indices, &right_indices);
+    assert(!left_indices.empty() && !right_indices.empty());
+
+    const int left_index = static_cast<int>(tree.nodes_.size());
+    TreeNode left_node;
+    left_node.label = entry.split.left_weights.MajorityLabel();
+    tree.nodes_.push_back(left_node);
+
+    const int right_index = static_cast<int>(tree.nodes_.size());
+    TreeNode right_node;
+    right_node.label = entry.split.right_weights.MajorityLabel();
+    tree.nodes_.push_back(right_node);
+
+    TreeNode& parent = tree.nodes_[static_cast<size_t>(entry.node_index)];
+    parent.feature = entry.split.feature;
+    parent.threshold = entry.split.threshold;
+    parent.left = left_index;
+    parent.right = right_index;
+
+    try_enqueue(left_index, entry.depth + 1, std::move(left_indices),
+                entry.split.left_weights);
+    try_enqueue(right_index, entry.depth + 1, std::move(right_indices),
+                entry.split.right_weights);
+    left_indices = {};
+    right_indices = {};
+  }
+
+  return tree;
+}
+
+int DecisionTree::Predict(std::span<const float> row) const {
+  return nodes_[static_cast<size_t>(LeafIndexFor(row))].label;
+}
+
+int DecisionTree::LeafIndexFor(std::span<const float> row) const {
+  assert(row.size() == num_features_);
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature != -1) {
+    const TreeNode& n = nodes_[static_cast<size_t>(node)];
+    node = row[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return node;
+}
+
+std::vector<int> DecisionTree::PredictBatch(const data::Dataset& dataset) const {
+  std::vector<int> out(dataset.num_rows());
+  for (size_t i = 0; i < dataset.num_rows(); ++i) out[i] = Predict(dataset.Row(i));
+  return out;
+}
+
+double DecisionTree::Accuracy(const data::Dataset& dataset) const {
+  if (dataset.num_rows() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    if (Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.num_rows());
+}
+
+int DecisionTree::Depth() const {
+  // Iterative DFS carrying depth; nodes_ is acyclic by construction.
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[static_cast<size_t>(node)];
+    if (n.feature == -1) {
+      max_depth = std::max(max_depth, depth);
+    } else {
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+size_t DecisionTree::NumLeaves() const {
+  size_t leaves = 0;
+  for (const TreeNode& n : nodes_) {
+    if (n.feature == -1) ++leaves;
+  }
+  return leaves;
+}
+
+std::vector<DecisionTree::LeafInfo> DecisionTree::ExtractLeaves() const {
+  std::vector<LeafInfo> leaves;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  struct Frame {
+    int node;
+    std::map<int, std::pair<double, double>> bounds;  // feature -> (lo, hi]
+  };
+  std::vector<Frame> stack{{0, {}}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const TreeNode& n = nodes_[static_cast<size_t>(frame.node)];
+    if (n.feature == -1) {
+      LeafInfo leaf;
+      leaf.node_index = frame.node;
+      leaf.label = n.label;
+      leaf.constraints.reserve(frame.bounds.size());
+      for (const auto& [feature, interval] : frame.bounds) {
+        leaf.constraints.push_back({feature, interval.first, interval.second});
+      }
+      leaves.push_back(std::move(leaf));
+      continue;
+    }
+    const double v = static_cast<double>(n.threshold);
+    Frame left{n.left, frame.bounds};
+    {
+      auto [it, inserted] = left.bounds.try_emplace(n.feature, -kInf, v);
+      if (!inserted) it->second.second = std::min(it->second.second, v);
+    }
+    Frame right{n.right, std::move(frame.bounds)};
+    {
+      auto [it, inserted] = right.bounds.try_emplace(n.feature, v, kInf);
+      if (!inserted) it->second.first = std::max(it->second.first, v);
+    }
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+  return leaves;
+}
+
+JsonValue DecisionTree::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("num_features", JsonValue(num_features_));
+  JsonValue subset = JsonValue::MakeArray();
+  for (int f : feature_subset_) subset.Append(JsonValue(f));
+  out.Set("feature_subset", std::move(subset));
+  JsonValue nodes = JsonValue::MakeArray();
+  for (const TreeNode& n : nodes_) {
+    JsonValue node = JsonValue::MakeObject();
+    node.Set("f", JsonValue(n.feature));
+    if (n.feature != -1) {
+      node.Set("t", JsonValue(static_cast<double>(n.threshold)));
+      node.Set("l", JsonValue(n.left));
+      node.Set("r", JsonValue(n.right));
+    }
+    node.Set("y", JsonValue(n.label));
+    nodes.Append(std::move(node));
+  }
+  out.Set("nodes", std::move(nodes));
+  return out;
+}
+
+Result<DecisionTree> DecisionTree::FromJson(const JsonValue& json) {
+  if (!json.is_object()) return Status::ParseError("tree JSON must be an object");
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* num_features, json.Get("num_features"));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* nodes_json, json.Get("nodes"));
+  if (!nodes_json->is_array()) return Status::ParseError("'nodes' must be an array");
+
+  std::vector<TreeNode> nodes;
+  nodes.reserve(nodes_json->AsArray().size());
+  for (const JsonValue& node_json : nodes_json->AsArray()) {
+    if (!node_json.is_object()) return Status::ParseError("node must be an object");
+    TreeNode n;
+    TREEWM_ASSIGN_OR_RETURN(const JsonValue* f, node_json.Get("f"));
+    n.feature = static_cast<int>(f->AsInt64());
+    TREEWM_ASSIGN_OR_RETURN(const JsonValue* y, node_json.Get("y"));
+    n.label = static_cast<int>(y->AsInt64());
+    if (n.feature != -1) {
+      TREEWM_ASSIGN_OR_RETURN(const JsonValue* t, node_json.Get("t"));
+      TREEWM_ASSIGN_OR_RETURN(const JsonValue* l, node_json.Get("l"));
+      TREEWM_ASSIGN_OR_RETURN(const JsonValue* r, node_json.Get("r"));
+      n.threshold = static_cast<float>(t->AsDouble());
+      n.left = static_cast<int>(l->AsInt64());
+      n.right = static_cast<int>(r->AsInt64());
+    }
+    nodes.push_back(n);
+  }
+  TREEWM_ASSIGN_OR_RETURN(
+      DecisionTree tree,
+      FromNodes(std::move(nodes), static_cast<size_t>(num_features->AsInt64())));
+  if (const JsonValue* subset = json.Find("feature_subset"); subset != nullptr) {
+    for (const JsonValue& f : subset->AsArray()) {
+      tree.feature_subset_.push_back(static_cast<int>(f.AsInt64()));
+    }
+  }
+  return tree;
+}
+
+Result<DecisionTree> DecisionTree::FromNodes(std::vector<TreeNode> nodes,
+                                             size_t num_features) {
+  if (nodes.empty()) return Status::InvalidArgument("tree needs at least one node");
+  std::vector<int> reference_count(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& n = nodes[i];
+    if (n.feature == -1) {
+      if (n.label != 1 && n.label != -1) {
+        return Status::InvalidArgument(StrFormat("leaf %zu label must be +1/-1", i));
+      }
+      continue;
+    }
+    if (n.feature < 0 || static_cast<size_t>(n.feature) >= num_features) {
+      return Status::InvalidArgument(StrFormat("node %zu: feature out of range", i));
+    }
+    for (int child : {n.left, n.right}) {
+      if (child <= static_cast<int>(i) || child >= static_cast<int>(nodes.size())) {
+        return Status::InvalidArgument(
+            StrFormat("node %zu: child index %d invalid (must be > parent)", i, child));
+      }
+      ++reference_count[static_cast<size_t>(child)];
+    }
+  }
+  if (reference_count[0] != 0) {
+    return Status::InvalidArgument("root must not be referenced as a child");
+  }
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (reference_count[i] != 1) {
+      return Status::InvalidArgument(
+          StrFormat("node %zu referenced %d times (want exactly 1)", i,
+                    reference_count[i]));
+    }
+  }
+  DecisionTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.num_features_ = num_features;
+  return tree;
+}
+
+bool DecisionTree::StructurallyEqual(const DecisionTree& other) const {
+  if (num_features_ != other.num_features_ || nodes_.size() != other.nodes_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& a = nodes_[i];
+    const TreeNode& b = other.nodes_[i];
+    if (a.feature != b.feature || a.left != b.left || a.right != b.right ||
+        a.label != b.label) {
+      return false;
+    }
+    if (a.feature != -1 && a.threshold != b.threshold) return false;
+  }
+  return true;
+}
+
+}  // namespace treewm::tree

@@ -1,0 +1,58 @@
+// Exact best-split search over sorted feature values.
+
+#ifndef TREEWM_TREE_SPLITTER_H_
+#define TREEWM_TREE_SPLITTER_H_
+
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tree/criterion.h"
+
+namespace treewm::tree {
+
+/// A candidate axis-aligned split "feature <= threshold".
+struct SplitCandidate {
+  int feature = -1;
+  float threshold = 0.0f;
+  double gain = 0.0;          // weighted impurity decrease
+  ClassWeights left_weights;  // mass going left (x_f <= threshold)
+  ClassWeights right_weights;
+  size_t left_count = 0;  // unweighted instance counts
+  size_t right_count = 0;
+};
+
+/// Stateless split finder bound to one dataset + weight vector.
+class Splitter {
+ public:
+  /// `weights` must have one entry per dataset row. Both referents must
+  /// outlive the Splitter.
+  Splitter(const data::Dataset& dataset, const std::vector<double>& weights,
+           SplitCriterion criterion);
+
+  /// Finds the best split of `indices` among `features`, or nullopt when no
+  /// split has positive gain or satisfies `min_samples_leaf`.
+  ///
+  /// Thresholds are midpoints between consecutive distinct feature values
+  /// (the sklearn convention), so they never coincide with a data value.
+  std::optional<SplitCandidate> FindBestSplit(const std::vector<size_t>& indices,
+                                              const std::vector<int>& features,
+                                              const ClassWeights& node_weights,
+                                              size_t min_samples_leaf) const;
+
+  /// Partitions `indices` by the split (stable). Outputs are cleared first.
+  void Partition(const std::vector<size_t>& indices, const SplitCandidate& split,
+                 std::vector<size_t>* left, std::vector<size_t>* right) const;
+
+  /// Total class weights over `indices`.
+  ClassWeights ComputeWeights(const std::vector<size_t>& indices) const;
+
+ private:
+  const data::Dataset& dataset_;
+  const std::vector<double>& weights_;
+  SplitCriterion criterion_;
+};
+
+}  // namespace treewm::tree
+
+#endif  // TREEWM_TREE_SPLITTER_H_

@@ -1,0 +1,136 @@
+// Tests for the eager CNF backend, including cross-checks against the
+// dedicated box solver (two complete procedures must agree).
+
+#include "smt/cnf_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/signature.h"
+#include "data/synthetic.h"
+
+namespace treewm::smt {
+namespace {
+
+using tree::DecisionTree;
+using tree::TreeNode;
+
+forest::RandomForest SmallTrainedModel(uint64_t seed, size_t num_trees) {
+  auto data = data::synthetic::MakeBlobs(seed, 300, 5, 1.2);
+  forest::ForestConfig config;
+  config.num_trees = num_trees;
+  config.seed = seed + 1;
+  return forest::RandomForest::Fit(data, {}, config).MoveValue();
+}
+
+TEST(CnfForgeryBackendTest, SolvesPaperExample) {
+  auto t1 = DecisionTree::FromNodes(
+                {TreeNode{0, 5.0f, 1, 2, 0}, TreeNode{1, 3.0f, 3, 4, 0},
+                 TreeNode{2, 7.0f, 5, 6, 0}, TreeNode{-1, 0, -1, -1, +1},
+                 TreeNode{-1, 0, -1, -1, -1}, TreeNode{-1, 0, -1, -1, -1},
+                 TreeNode{-1, 0, -1, -1, +1}},
+                3)
+                .MoveValue();
+  auto t2 = DecisionTree::FromNodes(
+                {TreeNode{0, 2.0f, 1, 2, 0}, TreeNode{1, 4.0f, 3, 4, 0},
+                 TreeNode{2, 6.0f, 5, 6, 0}, TreeNode{-1, 0, -1, -1, +1},
+                 TreeNode{-1, 0, -1, -1, -1}, TreeNode{-1, 0, -1, -1, -1},
+                 TreeNode{-1, 0, -1, -1, +1}},
+                3)
+                .MoveValue();
+  auto ensemble = forest::RandomForest::FromTrees({t1, t2}).MoveValue();
+  ForgeryQuery query;
+  query.signature_bits = {0, 1};
+  query.target_label = +1;
+  query.domain_lo = 0.0;
+  query.domain_hi = 10.0;
+  CnfEncodingStats stats;
+  auto outcome = CnfForgeryBackend::Solve(ensemble, query, {}, &stats).MoveValue();
+  ASSERT_EQ(outcome.result, sat::SatResult::kSat);
+  EXPECT_TRUE(outcome.validated);
+  EXPECT_GT(stats.num_atom_vars, 0u);
+  EXPECT_GT(stats.num_selector_vars, 0u);
+  EXPECT_GT(stats.num_clauses, stats.num_atom_vars);
+}
+
+TEST(CnfForgeryBackendTest, UnsatCase) {
+  auto a = DecisionTree::FromNodes({TreeNode{0, 0.3f, 1, 2, 0},
+                                    TreeNode{-1, 0, -1, -1, +1},
+                                    TreeNode{-1, 0, -1, -1, -1}},
+                                   1)
+               .MoveValue();
+  auto b = DecisionTree::FromNodes({TreeNode{0, 0.7f, 1, 2, 0},
+                                    TreeNode{-1, 0, -1, -1, -1},
+                                    TreeNode{-1, 0, -1, -1, +1}},
+                                   1)
+               .MoveValue();
+  auto ensemble = forest::RandomForest::FromTrees({a, b}).MoveValue();
+  ForgeryQuery query;
+  query.signature_bits = {0, 0};
+  query.target_label = +1;
+  auto outcome = CnfForgeryBackend::Solve(ensemble, query).MoveValue();
+  EXPECT_EQ(outcome.result, sat::SatResult::kUnsat);
+}
+
+TEST(CnfForgeryBackendTest, BudgetReturnsUnknownOrSolves) {
+  auto model = SmallTrainedModel(3, 10);
+  Rng rng(5);
+  auto fake = core::Signature::Random(10, 0.5, &rng);
+  ForgeryQuery query;
+  query.signature_bits = fake.bits();
+  query.target_label = +1;
+  sat::SolveBudget budget;
+  budget.max_conflicts = 1;
+  auto outcome = CnfForgeryBackend::Solve(model, query, budget).MoveValue();
+  // Either decided within one conflict or honestly unknown.
+  EXPECT_TRUE(outcome.result == sat::SatResult::kUnknown ||
+              outcome.result == sat::SatResult::kSat ||
+              outcome.result == sat::SatResult::kUnsat);
+}
+
+/// The central property: both complete backends agree on satisfiability, and
+/// SAT witnesses from each satisfy the required pattern.
+struct AgreementParam {
+  uint64_t seed;
+  double epsilon;
+};
+
+class BackendAgreementSweep : public ::testing::TestWithParam<AgreementParam> {};
+
+TEST_P(BackendAgreementSweep, BoxAndCnfBackendsAgree) {
+  const AgreementParam p = GetParam();
+  auto model = SmallTrainedModel(p.seed, 8);
+  auto data = data::synthetic::MakeBlobs(p.seed + 100, 50, 5, 1.2);
+  Rng rng(p.seed);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto fake = core::Signature::Random(8, 0.5, &rng);
+    ForgeryQuery query;
+    query.signature_bits = fake.bits();
+    query.target_label = trial % 2 == 0 ? +1 : -1;
+    const size_t row = rng.UniformInt(data.num_rows());
+    query.anchor.assign(data.Row(row).begin(), data.Row(row).end());
+    query.epsilon = p.epsilon;
+
+    auto box_outcome = ForgerySolver::Solve(model, query).MoveValue();
+    auto cnf_outcome = CnfForgeryBackend::Solve(model, query).MoveValue();
+    EXPECT_EQ(box_outcome.result, cnf_outcome.result)
+        << "seed=" << p.seed << " trial=" << trial;
+    if (cnf_outcome.result == sat::SatResult::kSat) {
+      EXPECT_TRUE(cnf_outcome.validated);
+      for (size_t f = 0; f < cnf_outcome.witness.size(); ++f) {
+        EXPECT_LE(std::fabs(cnf_outcome.witness[f] - query.anchor[f]),
+                  p.epsilon + 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndEpsilons, BackendAgreementSweep,
+    ::testing::Values(AgreementParam{1, 0.1}, AgreementParam{2, 0.3},
+                      AgreementParam{3, 0.5}, AgreementParam{4, 0.7},
+                      AgreementParam{5, 0.9}, AgreementParam{6, 0.2}));
+
+}  // namespace
+}  // namespace treewm::smt

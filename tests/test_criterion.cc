@@ -1,0 +1,96 @@
+// Unit tests for impurity criteria.
+
+#include "tree/criterion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace treewm::tree {
+namespace {
+
+TEST(ClassWeightsTest, AddRemoveAndMajority) {
+  ClassWeights w;
+  w.Add(+1, 2.0);
+  w.Add(-1, 3.0);
+  EXPECT_DOUBLE_EQ(w.Total(), 5.0);
+  EXPECT_EQ(w.MajorityLabel(), -1);
+  w.Remove(-1, 2.0);
+  EXPECT_EQ(w.MajorityLabel(), +1);
+  // Tie breaks positive (documented).
+  w.Remove(+1, 1.0);
+  EXPECT_DOUBLE_EQ(w.positive, 1.0);
+  EXPECT_DOUBLE_EQ(w.negative, 1.0);
+  EXPECT_EQ(w.MajorityLabel(), +1);
+}
+
+TEST(GiniTest, PureNodesAreZero) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({4.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({0.0, 7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({0.0, 0.0}), 0.0);
+}
+
+TEST(GiniTest, BalancedIsMaximal) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({5.0, 5.0}), 0.5);
+  // 2p(1-p) with p=0.25.
+  EXPECT_DOUBLE_EQ(GiniImpurity({1.0, 3.0}), 2.0 * 0.25 * 0.75);
+}
+
+TEST(EntropyTest, PureNodesAreZero) {
+  EXPECT_DOUBLE_EQ(EntropyImpurity({4.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyImpurity({0.0, 4.0}), 0.0);
+}
+
+TEST(EntropyTest, BalancedIsLogTwo) {
+  EXPECT_NEAR(EntropyImpurity({3.0, 3.0}), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, WeightScaleInvariant) {
+  EXPECT_NEAR(EntropyImpurity({1.0, 3.0}), EntropyImpurity({10.0, 30.0}), 1e-12);
+}
+
+TEST(ImpurityDispatchTest, MatchesDirectCalls) {
+  ClassWeights w{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kGini, w), GiniImpurity(w));
+  EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kEntropy, w), EntropyImpurity(w));
+}
+
+TEST(ImpurityDecreaseTest, PerfectSplitRecoversParentImpurity) {
+  ClassWeights parent{4.0, 4.0};
+  ClassWeights left{4.0, 0.0};
+  ClassWeights right{0.0, 4.0};
+  EXPECT_DOUBLE_EQ(ImpurityDecrease(SplitCriterion::kGini, parent, left, right), 0.5);
+}
+
+TEST(ImpurityDecreaseTest, UselessSplitIsZero) {
+  ClassWeights parent{4.0, 4.0};
+  ClassWeights left{2.0, 2.0};
+  ClassWeights right{2.0, 2.0};
+  EXPECT_NEAR(ImpurityDecrease(SplitCriterion::kGini, parent, left, right), 0.0, 1e-12);
+}
+
+TEST(ImpurityDecreaseTest, EmptyParentIsZero) {
+  EXPECT_DOUBLE_EQ(
+      ImpurityDecrease(SplitCriterion::kGini, {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}), 0.0);
+}
+
+TEST(ImpurityDecreaseTest, WeightsMatter) {
+  // Same counts, different weights: the heavier side dominates.
+  ClassWeights parent{10.0, 1.0};
+  ClassWeights left{10.0, 0.0};
+  ClassWeights right{0.0, 1.0};
+  const double gain = ImpurityDecrease(SplitCriterion::kGini, parent, left, right);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_NEAR(gain, GiniImpurity(parent), 1e-12);
+}
+
+TEST(CriterionNameTest, RoundTrips) {
+  EXPECT_STREQ(SplitCriterionName(SplitCriterion::kGini), "gini");
+  EXPECT_STREQ(SplitCriterionName(SplitCriterion::kEntropy), "entropy");
+  EXPECT_EQ(SplitCriterionFromName("gini").value(), SplitCriterion::kGini);
+  EXPECT_EQ(SplitCriterionFromName("ENTROPY").value(), SplitCriterion::kEntropy);
+  EXPECT_FALSE(SplitCriterionFromName("mse").ok());
+}
+
+}  // namespace
+}  // namespace treewm::tree

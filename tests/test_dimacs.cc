@@ -1,0 +1,68 @@
+// Unit tests for DIMACS parsing and serialization.
+
+#include "sat/dimacs.h"
+
+#include <gtest/gtest.h>
+
+#include "sat/solver.h"
+
+namespace treewm::sat {
+namespace {
+
+TEST(DimacsParseTest, BasicFormula) {
+  auto result = ParseDimacs("c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  ASSERT_TRUE(result.ok());
+  const CnfFormula& f = result.value();
+  EXPECT_EQ(f.num_vars, 3);
+  ASSERT_EQ(f.clauses.size(), 2u);
+  EXPECT_EQ(f.clauses[0][0], Lit::Make(0, false));
+  EXPECT_EQ(f.clauses[0][1], Lit::Make(1, true));
+  EXPECT_EQ(f.clauses[1][1], Lit::Make(2, false));
+}
+
+TEST(DimacsParseTest, MultipleClausesPerLine) {
+  auto result = ParseDimacs("p cnf 2 2\n1 0 -2 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().clauses.size(), 2u);
+}
+
+TEST(DimacsParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDimacs("").ok());
+  EXPECT_FALSE(ParseDimacs("1 2 0\n").ok());                    // clause before header
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n3 0\n").ok());           // var out of range
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 2\n").ok());           // missing terminator
+  EXPECT_FALSE(ParseDimacs("p cnf 2 5\n1 0\n").ok());           // clause count wrong
+  EXPECT_FALSE(ParseDimacs("p dnf 2 1\n1 0\n").ok());           // wrong format tag
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 x 0\n").ok());         // bad token
+}
+
+TEST(DimacsRoundTripTest, ToDimacsThenParse) {
+  CnfFormula f;
+  f.num_vars = 4;
+  f.clauses = {{Lit::Make(0, false), Lit::Make(1, true)},
+               {Lit::Make(2, false), Lit::Make(3, false), Lit::Make(0, true)}};
+  auto parsed = ParseDimacs(ToDimacs(f));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_vars, f.num_vars);
+  ASSERT_EQ(parsed.value().clauses.size(), f.clauses.size());
+  for (size_t c = 0; c < f.clauses.size(); ++c) {
+    EXPECT_EQ(parsed.value().clauses[c], f.clauses[c]);
+  }
+}
+
+TEST(LoadIntoSolverTest, SolvesLoadedFormula) {
+  auto f = ParseDimacs("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").MoveValue();
+  Solver s;
+  ASSERT_TRUE(LoadIntoSolver(f, &s));
+  EXPECT_EQ(s.Solve(), SatResult::kSat);
+  EXPECT_TRUE(s.ModelSatisfiesFormula(s.Model()));
+}
+
+TEST(LoadIntoSolverTest, DetectsTrivialUnsat) {
+  auto f = ParseDimacs("p cnf 1 2\n1 0\n-1 0\n").MoveValue();
+  Solver s;
+  EXPECT_FALSE(LoadIntoSolver(f, &s));
+}
+
+}  // namespace
+}  // namespace treewm::sat

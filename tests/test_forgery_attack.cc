@@ -1,0 +1,121 @@
+// Tests for the forgery attack driver (paper §4.2.2).
+
+#include "attacks/forgery_attack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/watermark.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+#include "smt/forgery_solver.h"
+
+namespace treewm::attacks {
+namespace {
+
+struct Fixture {
+  core::WatermarkedModel wm;
+  data::Dataset test;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  auto data = data::synthetic::MakeBreastCancerLike(seed);
+  Rng rng(seed + 1);
+  auto tt = data::MakeTrainTest(data, 0.3, &rng).MoveValue();
+  auto sigma = core::Signature::Random(16, 0.5, &rng);
+  core::WatermarkConfig config;
+  config.seed = seed + 2;
+  config.grid.max_depth_grid = {6, -1};
+  config.grid.num_folds = 2;
+  core::Watermarker watermarker(config);
+  auto wm = watermarker.CreateWatermark(tt.train, sigma).MoveValue();
+  return Fixture{std::move(wm), std::move(tt.test)};
+}
+
+TEST(ForgeryAttackTest, ForgedInstancesSatisfyPatternAndBall) {
+  Fixture fx = MakeFixture(10);
+  Rng rng(11);
+  auto fake = core::Signature::Random(16, 0.5, &rng);
+  ForgeryAttackConfig config;
+  config.epsilon = 0.6;
+  config.max_attempts = 25;
+  auto report = RunForgeryAttack(fx.wm.model, fake, fx.test, config).MoveValue();
+  EXPECT_EQ(report.attempts, 25u);
+  EXPECT_EQ(report.forged + report.unsat + report.budget_exhausted, 25u);
+  for (const auto& inst : report.instances) {
+    EXPECT_TRUE(smt::ForgerySolver::PatternHolds(fx.wm.model, fake.bits(),
+                                                 inst.label, inst.features));
+    EXPECT_LE(inst.linf_distance, config.epsilon + 1e-6);
+    EXPECT_LT(inst.source_row, fx.test.num_rows());
+  }
+}
+
+TEST(ForgeryAttackTest, ForgedCountGrowsWithEpsilon) {
+  // Figure 4's qualitative shape: larger distortion budget, more forgeries.
+  Fixture fx = MakeFixture(20);
+  Rng rng(21);
+  auto fake = core::Signature::Random(16, 0.5, &rng);
+  size_t previous = 0;
+  bool monotone = true;
+  for (double epsilon : {0.1, 0.5, 0.9}) {
+    ForgeryAttackConfig config;
+    config.epsilon = epsilon;
+    config.max_attempts = 20;
+    auto report = RunForgeryAttack(fx.wm.model, fake, fx.test, config).MoveValue();
+    if (report.forged < previous) monotone = false;
+    previous = report.forged;
+  }
+  EXPECT_TRUE(monotone);
+}
+
+TEST(ForgeryAttackTest, MaxForgedStopsEarly) {
+  Fixture fx = MakeFixture(30);
+  Rng rng(31);
+  auto fake = core::Signature::Random(16, 0.5, &rng);
+  ForgeryAttackConfig config;
+  config.epsilon = 0.9;  // easy regime: most attempts succeed
+  config.max_forged = 3;
+  auto report = RunForgeryAttack(fx.wm.model, fake, fx.test, config).MoveValue();
+  EXPECT_LE(report.forged, 3u);
+  EXPECT_LT(report.attempts, fx.test.num_rows());
+}
+
+TEST(ForgeryAttackTest, ToDatasetCollectsInstances) {
+  Fixture fx = MakeFixture(40);
+  Rng rng(41);
+  auto fake = core::Signature::Random(16, 0.5, &rng);
+  ForgeryAttackConfig config;
+  config.epsilon = 0.8;
+  config.max_attempts = 10;
+  auto report = RunForgeryAttack(fx.wm.model, fake, fx.test, config).MoveValue();
+  auto forged = report.ToDataset(fx.test.num_features());
+  EXPECT_EQ(forged.num_rows(), report.forged);
+  EXPECT_EQ(forged.num_features(), fx.test.num_features());
+}
+
+TEST(ForgeryAttackTest, ValidatesInputs) {
+  Fixture fx = MakeFixture(50);
+  Rng rng(51);
+  auto wrong_length = core::Signature::Random(5, 0.5, &rng);
+  ForgeryAttackConfig config;
+  EXPECT_FALSE(RunForgeryAttack(fx.wm.model, wrong_length, fx.test, config).ok());
+  auto fake = core::Signature::Random(16, 0.5, &rng);
+  config.epsilon = 0.0;
+  EXPECT_FALSE(RunForgeryAttack(fx.wm.model, fake, fx.test, config).ok());
+  config.epsilon = 1.0;
+  EXPECT_FALSE(RunForgeryAttack(fx.wm.model, fake, fx.test, config).ok());
+}
+
+TEST(ForgeryAttackTest, TrueSignatureForgesEasily) {
+  // Sanity: with the *true* signature and the real trigger instances as
+  // anchors, tiny distortion suffices (the pattern already holds at ε→0).
+  Fixture fx = MakeFixture(60);
+  ForgeryAttackConfig config;
+  config.epsilon = 0.05;
+  auto report = RunForgeryAttack(fx.wm.model, fx.wm.signature, fx.wm.trigger_set,
+                                 config)
+                    .MoveValue();
+  EXPECT_EQ(report.forged, fx.wm.trigger_set.num_rows());
+}
+
+}  // namespace
+}  // namespace treewm::attacks

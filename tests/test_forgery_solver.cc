@@ -1,0 +1,204 @@
+// Unit and property tests for the forgery decision procedure.
+
+#include "smt/forgery_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/signature.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+
+namespace treewm::smt {
+namespace {
+
+using tree::DecisionTree;
+using tree::TreeNode;
+
+/// The two-tree ensemble from the paper's Figure 1 (features 1-indexed in
+/// the paper; 0-indexed here).
+forest::RandomForest PaperFigure1Ensemble() {
+  // t1 = N(x0<=5, N(x1<=3, +1, -1), N(x2<=7, -1, +1))
+  auto t1 = DecisionTree::FromNodes(
+                {TreeNode{0, 5.0f, 1, 2, 0}, TreeNode{1, 3.0f, 3, 4, 0},
+                 TreeNode{2, 7.0f, 5, 6, 0}, TreeNode{-1, 0, -1, -1, +1},
+                 TreeNode{-1, 0, -1, -1, -1}, TreeNode{-1, 0, -1, -1, -1},
+                 TreeNode{-1, 0, -1, -1, +1}},
+                3)
+                .MoveValue();
+  // t2 = N(x0<=2, N(x1<=4, +1, -1), N(x2<=6, -1, +1))
+  auto t2 = DecisionTree::FromNodes(
+                {TreeNode{0, 2.0f, 1, 2, 0}, TreeNode{1, 4.0f, 3, 4, 0},
+                 TreeNode{2, 6.0f, 5, 6, 0}, TreeNode{-1, 0, -1, -1, +1},
+                 TreeNode{-1, 0, -1, -1, -1}, TreeNode{-1, 0, -1, -1, -1},
+                 TreeNode{-1, 0, -1, -1, +1}},
+                3)
+                .MoveValue();
+  return forest::RandomForest::FromTrees({t1, t2}).MoveValue();
+}
+
+TEST(ForgerySolverTest, SolvesPaperExample) {
+  // σ' = 01, label +1: t1 must output +1, t2 must output -1. The paper's
+  // example solution is x = (4, 3, 5).
+  auto ensemble = PaperFigure1Ensemble();
+  ForgeryQuery query;
+  query.signature_bits = {0, 1};
+  query.target_label = +1;
+  query.domain_lo = 0.0;
+  query.domain_hi = 10.0;
+  auto outcome = ForgerySolver::Solve(ensemble, query).MoveValue();
+  ASSERT_EQ(outcome.result, sat::SatResult::kSat);
+  EXPECT_TRUE(outcome.validated);
+  EXPECT_TRUE(ForgerySolver::PatternHolds(ensemble, query.signature_bits, +1,
+                                          outcome.witness));
+  // The paper's hand solution must also satisfy the pattern.
+  std::vector<float> paper_solution{4.0f, 3.0f, 5.0f};
+  EXPECT_TRUE(ForgerySolver::PatternHolds(ensemble, query.signature_bits, +1,
+                                          paper_solution));
+}
+
+TEST(ForgerySolverTest, DetectsUnsatDisjointRegions) {
+  // Stump A: +1 iff x0 <= 0.3. Stump B: +1 iff x0 > 0.7. Both must be +1:
+  // impossible.
+  auto a = DecisionTree::FromNodes({TreeNode{0, 0.3f, 1, 2, 0},
+                                    TreeNode{-1, 0, -1, -1, +1},
+                                    TreeNode{-1, 0, -1, -1, -1}},
+                                   1)
+               .MoveValue();
+  auto b = DecisionTree::FromNodes({TreeNode{0, 0.7f, 1, 2, 0},
+                                    TreeNode{-1, 0, -1, -1, -1},
+                                    TreeNode{-1, 0, -1, -1, +1}},
+                                   1)
+               .MoveValue();
+  auto ensemble = forest::RandomForest::FromTrees({a, b}).MoveValue();
+  ForgeryQuery query;
+  query.signature_bits = {0, 0};
+  query.target_label = +1;
+  auto outcome = ForgerySolver::Solve(ensemble, query).MoveValue();
+  EXPECT_EQ(outcome.result, sat::SatResult::kUnsat);
+  // Flipping B's bit makes it feasible again.
+  query.signature_bits = {0, 1};
+  outcome = ForgerySolver::Solve(ensemble, query).MoveValue();
+  EXPECT_EQ(outcome.result, sat::SatResult::kSat);
+}
+
+TEST(ForgerySolverTest, BallConstraintBinds) {
+  auto ensemble = PaperFigure1Ensemble();
+  ForgeryQuery query;
+  query.signature_bits = {0, 1};
+  query.target_label = +1;
+  query.domain_lo = 0.0;
+  query.domain_hi = 10.0;
+  // Anchor at (9,9,9): σ'=01 needs x0>5, x2>7 for t1=+1 … and t2=-1 needs
+  // x0>2, x2<=6 — conflicting with x2>7, so t1 must go left: x0<=5. A tight
+  // ball around (9,9,9) therefore kills the query.
+  query.anchor = {9.0f, 9.0f, 9.0f};
+  query.epsilon = 0.5;
+  auto tight = ForgerySolver::Solve(ensemble, query).MoveValue();
+  EXPECT_EQ(tight.result, sat::SatResult::kUnsat);
+  // A huge ball admits the paper solution again.
+  query.epsilon = 8.0;
+  auto loose = ForgerySolver::Solve(ensemble, query).MoveValue();
+  EXPECT_EQ(loose.result, sat::SatResult::kSat);
+  // Witness stays within the ball.
+  for (size_t f = 0; f < 3; ++f) {
+    EXPECT_LE(std::fabs(loose.witness[f] - 9.0), 8.0 + 1e-6);
+  }
+}
+
+TEST(ForgerySolverTest, EmptyBallDomainIntersectionIsUnsat) {
+  auto ensemble = PaperFigure1Ensemble();
+  ForgeryQuery query;
+  query.signature_bits = {0, 1};
+  query.target_label = +1;
+  query.domain_lo = 0.0;
+  query.domain_hi = 1.0;
+  query.anchor = {5.0f, 5.0f, 5.0f};  // ball [4.9,5.1] misses domain [0,1]
+  query.epsilon = 0.1;
+  auto outcome = ForgerySolver::Solve(ensemble, query).MoveValue();
+  EXPECT_EQ(outcome.result, sat::SatResult::kUnsat);
+}
+
+TEST(ForgerySolverTest, NodeBudgetReturnsUnknown) {
+  auto data = data::synthetic::MakeBlobs(5, 300, 6, 0.5);
+  forest::ForestConfig config;
+  config.num_trees = 12;
+  config.seed = 9;
+  auto model = forest::RandomForest::Fit(data, {}, config).MoveValue();
+  Rng rng(4);
+  auto sigma = core::Signature::Random(12, 0.5, &rng);
+  ForgeryQuery query;
+  query.signature_bits = sigma.bits();
+  query.target_label = +1;
+  query.max_nodes = 1;  // absurdly small
+  auto outcome = ForgerySolver::Solve(model, query).MoveValue();
+  EXPECT_NE(outcome.result, sat::SatResult::kSat);
+}
+
+TEST(ForgerySolverTest, ValidatesQueryShape) {
+  auto ensemble = PaperFigure1Ensemble();
+  ForgeryQuery query;
+  query.signature_bits = {0, 1};
+  query.target_label = +1;
+  query.anchor = {0.5f};  // wrong dimensionality
+  EXPECT_FALSE(ForgerySolver::Solve(ensemble, query).ok());
+  query.anchor.clear();
+  query.epsilon = -0.1;
+  EXPECT_FALSE(ForgerySolver::Solve(ensemble, query).ok());
+}
+
+TEST(PatternHoldsTest, ChecksEveryTree) {
+  auto ensemble = PaperFigure1Ensemble();
+  std::vector<float> x{4.0f, 3.0f, 5.0f};  // t1=+1, t2=-1
+  EXPECT_TRUE(ForgerySolver::PatternHolds(ensemble, {0, 1}, +1, x));
+  EXPECT_FALSE(ForgerySolver::PatternHolds(ensemble, {0, 0}, +1, x));
+  EXPECT_FALSE(ForgerySolver::PatternHolds(ensemble, {1, 1}, +1, x));
+  EXPECT_TRUE(ForgerySolver::PatternHolds(ensemble, {1, 0}, -1, x));  // mirrored
+  EXPECT_FALSE(ForgerySolver::PatternHolds(ensemble, {1}, +1, x));  // bad length
+}
+
+/// Property sweep on trained models: whenever the solver reports SAT the
+/// witness must satisfy the pattern and the ball constraint; the outcome is
+/// deterministic across repeat runs.
+class ForgerySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ForgerySweep, WitnessesAreSoundAndDeterministic) {
+  const double epsilon = GetParam();
+  auto data = data::synthetic::MakeBlobs(17, 400, 5, 1.5);
+  forest::ForestConfig config;
+  config.num_trees = 10;
+  config.seed = 2;
+  auto model = forest::RandomForest::Fit(data, {}, config).MoveValue();
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto fake = core::Signature::Random(10, 0.5, &rng);
+    ForgeryQuery query;
+    query.signature_bits = fake.bits();
+    query.target_label = trial % 2 == 0 ? +1 : -1;
+    const size_t row = rng.UniformInt(data.num_rows());
+    query.anchor.assign(data.Row(row).begin(), data.Row(row).end());
+    query.epsilon = epsilon;
+    query.max_nodes = 100000;
+
+    auto first = ForgerySolver::Solve(model, query).MoveValue();
+    auto second = ForgerySolver::Solve(model, query).MoveValue();
+    EXPECT_EQ(first.result, second.result);
+    EXPECT_EQ(first.nodes_explored, second.nodes_explored);
+    if (first.result == sat::SatResult::kSat) {
+      EXPECT_TRUE(ForgerySolver::PatternHolds(model, query.signature_bits,
+                                              query.target_label, first.witness));
+      for (size_t f = 0; f < first.witness.size(); ++f) {
+        EXPECT_LE(std::fabs(first.witness[f] - query.anchor[f]), epsilon + 1e-6);
+        EXPECT_GE(first.witness[f], 0.0f);
+        EXPECT_LE(first.witness[f], 1.0f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, ForgerySweep,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5, 0.9));
+
+}  // namespace
+}  // namespace treewm::smt

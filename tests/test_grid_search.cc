@@ -1,0 +1,86 @@
+// Unit tests for grid search with stratified CV.
+
+#include "forest/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace treewm::forest {
+namespace {
+
+TEST(StratifiedFoldsTest, EveryRowGetsAFold) {
+  auto d = data::synthetic::MakeBlobs(1, 100, 4, 1.0, 0.3);
+  Rng rng(2);
+  auto folds = StratifiedFolds(d, 4, &rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds.value().size(), 100u);
+  for (size_t f : folds.value()) EXPECT_LT(f, 4u);
+}
+
+TEST(StratifiedFoldsTest, FoldsAreClassBalanced) {
+  auto d = data::synthetic::MakeBlobs(2, 400, 4, 1.0, 0.25);
+  Rng rng(3);
+  auto folds = StratifiedFolds(d, 4, &rng).MoveValue();
+  for (size_t fold = 0; fold < 4; ++fold) {
+    size_t pos = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < d.num_rows(); ++i) {
+      if (folds[i] != fold) continue;
+      ++total;
+      if (d.Label(i) == data::kPositive) ++pos;
+    }
+    EXPECT_NEAR(static_cast<double>(total), 100.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(pos) / static_cast<double>(total), 0.25, 0.02);
+  }
+}
+
+TEST(StratifiedFoldsTest, RejectsDegenerateRequests) {
+  auto d = data::synthetic::MakeBlobs(3, 10, 2, 1.0);
+  Rng rng(4);
+  EXPECT_FALSE(StratifiedFolds(d, 1, &rng).ok());
+  EXPECT_FALSE(StratifiedFolds(d, 11, &rng).ok());
+}
+
+TEST(GridSearchTest, EvaluatesWholeGrid) {
+  auto d = data::synthetic::MakeBlobs(4, 300, 5, 2.0);
+  GridSearchConfig config;
+  config.max_depth_grid = {2, 4, -1};
+  config.max_leaf_nodes_grid = {8, -1};
+  config.num_folds = 3;
+  auto outcome = GridSearch(d, 7, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().evaluated.size(), 6u);
+  EXPECT_GT(outcome.value().best_accuracy, 0.9);
+}
+
+TEST(GridSearchTest, BestIsArgmaxOfEvaluated) {
+  auto d = data::synthetic::MakeBlobs(5, 250, 4, 1.0);
+  GridSearchConfig config;
+  config.max_depth_grid = {1, 3, -1};
+  auto outcome = GridSearch(d, 5, config).MoveValue();
+  double best = 0.0;
+  for (const auto& point : outcome.evaluated) best = std::max(best, point.cv_accuracy);
+  EXPECT_DOUBLE_EQ(outcome.best_accuracy, best);
+}
+
+TEST(GridSearchTest, DeepTreesWinOnXor) {
+  // XOR cannot be solved at depth 1, so the search must not pick it.
+  auto d = data::synthetic::MakeXor(6, 600, 4);
+  GridSearchConfig config;
+  config.max_depth_grid = {1, -1};
+  auto outcome = GridSearch(d, 5, config).MoveValue();
+  EXPECT_EQ(outcome.best.max_depth, -1);
+}
+
+TEST(GridSearchTest, RejectsEmptyGrid) {
+  auto d = data::synthetic::MakeBlobs(7, 50, 3, 1.0);
+  GridSearchConfig config;
+  config.max_depth_grid = {};
+  EXPECT_FALSE(GridSearch(d, 3, config).ok());
+}
+
+}  // namespace
+}  // namespace treewm::forest

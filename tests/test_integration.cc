@@ -1,0 +1,134 @@
+// End-to-end integration tests: the full Alice/Bob/Charlie story across the
+// paper's dataset stand-ins, exercising every module together.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "attacks/detection.h"
+#include "attacks/forgery_attack.h"
+#include "attacks/suppression.h"
+#include "core/verification.h"
+#include "core/watermark.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+#include "io/model_io.h"
+#include "reduction/reduction.h"
+#include "sat/solver.h"
+
+namespace treewm {
+namespace {
+
+struct Story {
+  core::WatermarkedModel wm;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+Story RunAlice(const std::string& dataset_name, uint64_t seed, size_t num_rows,
+               size_t num_trees) {
+  auto data = data::synthetic::MakeByName(dataset_name, seed, num_rows).MoveValue();
+  Rng rng(seed + 1);
+  auto tt = data::MakeTrainTest(data, 0.3, &rng).MoveValue();
+  auto sigma = core::Signature::Random(num_trees, 0.5, &rng);
+  core::WatermarkConfig config;
+  config.seed = seed + 2;
+  config.grid.max_depth_grid = {8, -1};
+  config.grid.num_folds = 2;
+  config.trigger_fraction = 0.02;
+  core::Watermarker watermarker(config);
+  auto wm = watermarker.CreateWatermark(tt.train, sigma).MoveValue();
+  return Story{std::move(wm), std::move(tt.train), std::move(tt.test)};
+}
+
+class StoryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StoryTest, FullLifecycle) {
+  const std::string name = GetParam();
+  // Keep sizes integration-test friendly; benches run the full scale.
+  const size_t rows = name == "breast-cancer" ? 0 : 1500;
+  Story story = RunAlice(name, 1000, rows, 24);
+
+  // 1. The watermark embedded (possibly with warnings on hard data).
+  EXPECT_EQ(story.wm.model.num_trees(), 24u);
+
+  // 2. Utility: accuracy within a few points of a standard model.
+  forest::ForestConfig std_config;
+  std_config.num_trees = 24;
+  std_config.tree = story.wm.tuned_config;
+  std_config.seed = 77;
+  auto standard = forest::RandomForest::Fit(story.train, {}, std_config).MoveValue();
+  EXPECT_GT(story.wm.model.Accuracy(story.test),
+            standard.Accuracy(story.test) - 0.09)
+      << name;
+
+  // 3. Alice escrows the bundle and Charlie later reloads it.
+  const std::string path = ::testing::TempDir() + "/story_" + name + ".json";
+  ASSERT_TRUE(io::SaveBundle(io::BundleFrom(story.wm), path).ok());
+  auto bundle = io::LoadBundle(path).MoveValue();
+  std::remove(path.c_str());
+
+  // 4. Charlie verifies Bob's stolen copy black-box.
+  core::VerificationRequest request{bundle.signature, bundle.trigger_set,
+                                    story.test};
+  core::ForestBlackBox stolen(bundle.model);
+  Rng charlie_rng(3);
+  auto report =
+      core::VerificationAuthority::Verify(stolen, request, &charlie_rng).MoveValue();
+  if (story.wm.t0_converged && story.wm.t1_converged) {
+    EXPECT_TRUE(report.verified) << name;
+    EXPECT_LT(report.log10_p_value, -10.0) << name;
+  } else {
+    EXPECT_GT(report.bit_match_rate, 0.9) << name;
+  }
+
+  // 5. The same request against an innocent model finds nothing.
+  core::ForestBlackBox innocent(standard);
+  auto innocent_report =
+      core::VerificationAuthority::Verify(innocent, request, &charlie_rng)
+          .MoveValue();
+  EXPECT_FALSE(innocent_report.verified) << name;
+
+  // 6. Structural detection fails (Table 2's conclusion).
+  auto detection = attacks::DetectByThreshold(
+      story.wm.model, attacks::TreeStatistic::kDepth, story.wm.signature);
+  EXPECT_LT(static_cast<double>(detection.num_correct) / 24.0, 0.85) << name;
+
+  // 7. Trigger instances hide among test data (suppression defence).
+  auto suppression =
+      attacks::ProbeSuppression(story.wm.trigger_set, story.test).MoveValue();
+  EXPECT_LT(suppression.trigger_nn_fraction, 0.5) << name;
+
+  // 8. Low-distortion forgery is hard: at ε=0.05 the attacker forges at most
+  // a small fraction of what Alice holds.
+  Rng mallory_rng(4);
+  auto fake = core::Signature::Random(24, 0.5, &mallory_rng);
+  attacks::ForgeryAttackConfig attack;
+  attack.epsilon = 0.05;
+  attack.max_attempts = 30;
+  attack.max_nodes_per_instance = 50000;
+  auto forgery =
+      attacks::RunForgeryAttack(story.wm.model, fake, story.test, attack)
+          .MoveValue();
+  EXPECT_LT(forgery.forged, 30u * 3 / 4) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDatasets, StoryTest,
+                         ::testing::Values("breast-cancer", "ijcnn1", "mnist2-6"));
+
+TEST(CrossModuleTest, ReductionEndToEndThroughEveryLayer) {
+  // 3CNF -> ensemble -> forgery solver -> assignment -> formula evaluation,
+  // with the CDCL solver as referee (Theorem 1 in miniature).
+  Rng rng(9);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto formula = reduction::RandomThreeCnf(7, 25, &rng).MoveValue();
+    sat::Solver referee;
+    const bool loaded = LoadIntoSolver(reduction::ToCnfFormula(formula), &referee);
+    const bool expect = loaded && referee.Solve() == sat::SatResult::kSat;
+    auto via_trees = reduction::SolveThreeSatViaForgery(formula);
+    EXPECT_EQ(via_trees.ok(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace treewm

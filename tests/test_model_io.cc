@@ -1,0 +1,108 @@
+// Tests for model / bundle persistence.
+
+#include "io/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/watermark.h"
+#include "data/synthetic.h"
+
+namespace treewm::io {
+namespace {
+
+forest::RandomForest TrainSmall(uint64_t seed) {
+  auto data = data::synthetic::MakeBlobs(seed, 150, 5, 1.5);
+  forest::ForestConfig config;
+  config.num_trees = 5;
+  config.seed = seed;
+  return forest::RandomForest::Fit(data, {}, config).MoveValue();
+}
+
+core::WatermarkedModel MakeWatermarked(uint64_t seed) {
+  auto data = data::synthetic::MakeBlobs(seed, 300, 6, 2.0);
+  Rng rng(seed);
+  auto sigma = core::Signature::Random(8, 0.5, &rng);
+  core::WatermarkConfig config;
+  config.seed = seed + 1;
+  config.grid.max_depth_grid = {-1};
+  config.grid.num_folds = 2;
+  core::Watermarker watermarker(config);
+  return watermarker.CreateWatermark(data, sigma).MoveValue();
+}
+
+TEST(ForestIoTest, SaveLoadRoundTrip) {
+  auto forest = TrainSmall(1);
+  const std::string path = ::testing::TempDir() + "/treewm_forest.json";
+  ASSERT_TRUE(SaveForest(forest, path).ok());
+  auto loaded = LoadForest(path);
+  ASSERT_TRUE(loaded.ok());
+  auto data = data::synthetic::MakeBlobs(2, 50, 5, 1.5);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(loaded.value().PredictAll(data.Row(i)), forest.PredictAll(data.Row(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ForestIoTest, LoadRejectsCorruptFile) {
+  const std::string path = ::testing::TempDir() + "/treewm_corrupt.json";
+  ASSERT_TRUE(WriteStringToFile(path, "{not json").ok());
+  EXPECT_FALSE(LoadForest(path).ok());
+  ASSERT_TRUE(WriteStringToFile(path, "{\"format_version\": 99}").ok());
+  EXPECT_FALSE(LoadForest(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetJsonTest, RoundTrip) {
+  auto data = data::synthetic::MakeBlobs(3, 30, 4, 1.0);
+  data.set_name("roundtrip");
+  auto parsed = DatasetFromJson(DatasetToJson(data));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name(), "roundtrip");
+  ASSERT_EQ(parsed.value().num_rows(), data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(parsed.value().Label(i), data.Label(i));
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      EXPECT_FLOAT_EQ(parsed.value().At(i, j), data.At(i, j));
+    }
+  }
+}
+
+TEST(BundleIoTest, RoundTripPreservesEverything) {
+  auto wm = MakeWatermarked(10);
+  WatermarkBundle bundle = BundleFrom(wm);
+  const std::string path = ::testing::TempDir() + "/treewm_bundle.json";
+  ASSERT_TRUE(SaveBundle(bundle, path).ok());
+  auto loaded = LoadBundle(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().signature, wm.signature);
+  EXPECT_EQ(loaded.value().trigger_set.num_rows(), wm.trigger_set.num_rows());
+  // The signature property survives the round trip.
+  for (size_t i = 0; i < loaded.value().trigger_set.num_rows(); ++i) {
+    const auto votes =
+        loaded.value().model.PredictAll(loaded.value().trigger_set.Row(i));
+    const int y = loaded.value().trigger_set.Label(i);
+    for (size_t t = 0; t < loaded.value().signature.length(); ++t) {
+      EXPECT_EQ(votes[t], loaded.value().signature.bit(t) == 0 ? y : -y);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BundleIoTest, RejectsInconsistentBundle) {
+  auto wm = MakeWatermarked(20);
+  JsonValue doc = BundleToJson(BundleFrom(wm));
+  // Truncate the signature: length no longer matches the tree count.
+  doc.Set("signature", core::Signature::FromBitString("01").MoveValue().ToJson());
+  EXPECT_FALSE(BundleFromJson(doc).ok());
+}
+
+TEST(BundleIoTest, MissingFieldsFail) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("format_version", JsonValue(kFormatVersion));
+  EXPECT_FALSE(BundleFromJson(doc).ok());
+}
+
+}  // namespace
+}  // namespace treewm::io

@@ -1,0 +1,175 @@
+// Tests for the model-modification attacks (future-work extension).
+
+#include "attacks/modification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verification.h"
+#include "core/watermark.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+
+namespace treewm::attacks {
+namespace {
+
+struct Fixture {
+  core::WatermarkedModel wm;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  auto data = data::synthetic::MakeBlobs(seed, 500, 8, 2.0);
+  Rng rng(seed + 1);
+  auto tt = data::MakeTrainTest(data, 0.3, &rng).MoveValue();
+  auto sigma = core::Signature::Random(16, 0.5, &rng);
+  core::WatermarkConfig config;
+  config.seed = seed + 2;
+  config.grid.max_depth_grid = {4, -1};
+  config.grid.num_folds = 2;
+  config.trigger_training.forest.feature_fraction = 0.7;
+  core::Watermarker watermarker(config);
+  auto wm = watermarker.CreateWatermark(tt.train, sigma).MoveValue();
+  return Fixture{std::move(wm), std::move(tt.train), std::move(tt.test)};
+}
+
+core::VerificationReport VerifyAgainst(const Fixture& fx,
+                                       const forest::RandomForest& model) {
+  core::VerificationRequest request{fx.wm.signature, fx.wm.trigger_set, fx.test};
+  core::ForestBlackBox box(model);
+  Rng rng(99);
+  return core::VerificationAuthority::Verify(box, request, &rng).MoveValue();
+}
+
+TEST(PruneToDepthTest, DepthIsCapped) {
+  Fixture fx = MakeFixture(10);
+  auto pruned = PruneToDepth(fx.wm.model, 2).MoveValue();
+  EXPECT_EQ(pruned.num_trees(), fx.wm.model.num_trees());
+  for (const auto& t : pruned.trees()) EXPECT_LE(t.Depth(), 2);
+}
+
+TEST(PruneToDepthTest, DepthZeroGivesStumps) {
+  Fixture fx = MakeFixture(20);
+  auto pruned = PruneToDepth(fx.wm.model, 0).MoveValue();
+  for (const auto& t : pruned.trees()) {
+    EXPECT_EQ(t.NumNodes(), 1u);
+    EXPECT_EQ(t.Depth(), 0);
+  }
+}
+
+TEST(PruneToDepthTest, GenerousDepthIsIdentity) {
+  Fixture fx = MakeFixture(30);
+  auto pruned = PruneToDepth(fx.wm.model, 64).MoveValue();
+  for (size_t i = 0; i < fx.test.num_rows(); ++i) {
+    EXPECT_EQ(pruned.PredictAll(fx.test.Row(i)),
+              fx.wm.model.PredictAll(fx.test.Row(i)));
+  }
+}
+
+TEST(PruneToDepthTest, AggressivePruningKillsWatermarkAndAccuracy) {
+  Fixture fx = MakeFixture(40);
+  ASSERT_TRUE(fx.wm.t0_converged && fx.wm.t1_converged);
+  auto report_before = VerifyAgainst(fx, fx.wm.model);
+  EXPECT_TRUE(report_before.verified);
+  auto pruned = PruneToDepth(fx.wm.model, 1).MoveValue();
+  auto report_after = VerifyAgainst(fx, pruned);
+  // The watermark cannot survive stumps intact...
+  EXPECT_LT(report_after.bit_match_rate, 1.0);
+  // ...but the attacker also loses accuracy vs the original model.
+  EXPECT_LT(pruned.Accuracy(fx.test), fx.wm.model.Accuracy(fx.test) + 1e-9);
+}
+
+TEST(PruneToDepthTest, RejectsNegativeDepth) {
+  Fixture fx = MakeFixture(50);
+  EXPECT_FALSE(PruneToDepth(fx.wm.model, -1).ok());
+}
+
+TEST(RelabelRandomLeavesTest, ZeroFractionIsIdentity) {
+  Fixture fx = MakeFixture(60);
+  Rng rng(1);
+  auto tampered = RelabelRandomLeaves(fx.wm.model, 0.0, &rng).MoveValue();
+  for (size_t i = 0; i < fx.test.num_rows(); ++i) {
+    EXPECT_EQ(tampered.PredictAll(fx.test.Row(i)),
+              fx.wm.model.PredictAll(fx.test.Row(i)));
+  }
+}
+
+TEST(RelabelRandomLeavesTest, FullFractionFlipsEveryLeaf) {
+  Fixture fx = MakeFixture(70);
+  Rng rng(2);
+  auto tampered = RelabelRandomLeaves(fx.wm.model, 1.0, &rng).MoveValue();
+  for (size_t i = 0; i < 20; ++i) {
+    const auto before = fx.wm.model.PredictAll(fx.test.Row(i));
+    const auto after = tampered.PredictAll(fx.test.Row(i));
+    for (size_t t = 0; t < before.size(); ++t) EXPECT_EQ(after[t], -before[t]);
+  }
+}
+
+TEST(RelabelRandomLeavesTest, PartialFlippingDegradesVerification) {
+  Fixture fx = MakeFixture(80);
+  ASSERT_TRUE(fx.wm.t0_converged && fx.wm.t1_converged);
+  Rng rng(3);
+  auto tampered = RelabelRandomLeaves(fx.wm.model, 0.3, &rng).MoveValue();
+  auto report = VerifyAgainst(fx, tampered);
+  EXPECT_LT(report.bit_match_rate, 1.0);
+  // Majority voting can absorb flips, so accuracy need not drop on easy
+  // data; but it cannot exceed the clean model by much.
+  EXPECT_LT(tampered.Accuracy(fx.test), fx.wm.model.Accuracy(fx.test) + 0.05);
+}
+
+TEST(RelabelRandomLeavesTest, RejectsBadFraction) {
+  Fixture fx = MakeFixture(90);
+  Rng rng(4);
+  EXPECT_FALSE(RelabelRandomLeaves(fx.wm.model, -0.1, &rng).ok());
+  EXPECT_FALSE(RelabelRandomLeaves(fx.wm.model, 1.1, &rng).ok());
+}
+
+TEST(ReplaceRandomTreesTest, KeepsEnsembleShape) {
+  Fixture fx = MakeFixture(100);
+  Rng rng(5);
+  tree::TreeConfig config;
+  auto replaced =
+      ReplaceRandomTrees(fx.wm.model, 0.5, fx.train, config, &rng).MoveValue();
+  EXPECT_EQ(replaced.num_trees(), fx.wm.model.num_trees());
+  EXPECT_EQ(replaced.num_features(), fx.wm.model.num_features());
+  // Accuracy stays reasonable (surrogate = the true training data here).
+  EXPECT_GT(replaced.Accuracy(fx.test), 0.8);
+}
+
+TEST(ReplaceRandomTreesTest, FullReplacementErasesWatermark) {
+  Fixture fx = MakeFixture(110);
+  ASSERT_TRUE(fx.wm.t0_converged && fx.wm.t1_converged);
+  Rng rng(6);
+  tree::TreeConfig config;
+  auto replaced =
+      ReplaceRandomTrees(fx.wm.model, 1.0, fx.train, config, &rng).MoveValue();
+  auto report = VerifyAgainst(fx, replaced);
+  EXPECT_FALSE(report.verified);
+  EXPECT_LT(report.bit_match_rate, 0.95);
+}
+
+TEST(ReplaceRandomTreesTest, PartialReplacementLeavesEvidence) {
+  // Replacing a quarter of the trees still leaves 3/4 of the signature bits
+  // intact — enough for a conclusive statistical ruling.
+  Fixture fx = MakeFixture(120);
+  ASSERT_TRUE(fx.wm.t0_converged && fx.wm.t1_converged);
+  Rng rng(7);
+  tree::TreeConfig config;
+  auto replaced =
+      ReplaceRandomTrees(fx.wm.model, 0.25, fx.train, config, &rng).MoveValue();
+  auto report = VerifyAgainst(fx, replaced);
+  EXPECT_GT(report.bit_match_rate, 0.70);
+  EXPECT_TRUE(report.conclusive());
+}
+
+TEST(ReplaceRandomTreesTest, ValidatesInputs) {
+  Fixture fx = MakeFixture(130);
+  Rng rng(8);
+  tree::TreeConfig config;
+  EXPECT_FALSE(ReplaceRandomTrees(fx.wm.model, 2.0, fx.train, config, &rng).ok());
+  data::Dataset wrong(3);
+  EXPECT_FALSE(ReplaceRandomTrees(fx.wm.model, 0.5, wrong, config, &rng).ok());
+}
+
+}  // namespace
+}  // namespace treewm::attacks

@@ -1,0 +1,74 @@
+// Unit tests for min-max scaling.
+
+#include "data/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace treewm::data {
+namespace {
+
+Dataset MakeRaw() {
+  Dataset d(2);
+  EXPECT_TRUE(d.AddRow(std::vector<float>{10.0f, -1.0f}, kPositive).ok());
+  EXPECT_TRUE(d.AddRow(std::vector<float>{20.0f, 1.0f}, kNegative).ok());
+  EXPECT_TRUE(d.AddRow(std::vector<float>{15.0f, 0.0f}, kPositive).ok());
+  return d;
+}
+
+TEST(MinMaxScalerTest, MapsOntoUnitInterval) {
+  Dataset d = MakeRaw();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.FitTransform(&d).ok());
+  EXPECT_TRUE(d.AllValuesWithin(0.0f, 1.0f));
+  EXPECT_FLOAT_EQ(d.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(d.At(2, 0), 0.5f);
+  EXPECT_FLOAT_EQ(d.At(2, 1), 0.5f);
+}
+
+TEST(MinMaxScalerTest, TransformAppliesTrainStatistics) {
+  Dataset train = MakeRaw();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(train).ok());
+  Dataset test(2);
+  ASSERT_TRUE(test.AddRow(std::vector<float>{12.5f, 0.5f}, kPositive).ok());
+  ASSERT_TRUE(scaler.Transform(&test).ok());
+  EXPECT_FLOAT_EQ(test.At(0, 0), 0.25f);
+  EXPECT_FLOAT_EQ(test.At(0, 1), 0.75f);
+}
+
+TEST(MinMaxScalerTest, OutOfRangeTestValuesAreClamped) {
+  Dataset train = MakeRaw();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(train).ok());
+  Dataset test(2);
+  ASSERT_TRUE(test.AddRow(std::vector<float>{100.0f, -100.0f}, kPositive).ok());
+  ASSERT_TRUE(scaler.Transform(&test).ok());
+  EXPECT_FLOAT_EQ(test.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(test.At(0, 1), 0.0f);
+}
+
+TEST(MinMaxScalerTest, ConstantFeatureMapsToZero) {
+  Dataset d(1);
+  ASSERT_TRUE(d.AddRow(std::vector<float>{5.0f}, kPositive).ok());
+  ASSERT_TRUE(d.AddRow(std::vector<float>{5.0f}, kNegative).ok());
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.FitTransform(&d).ok());
+  EXPECT_FLOAT_EQ(d.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d.At(1, 0), 0.0f);
+}
+
+TEST(MinMaxScalerTest, ErrorsOnMisuse) {
+  MinMaxScaler scaler;
+  Dataset empty(2);
+  EXPECT_FALSE(scaler.Fit(empty).ok());
+  Dataset d = MakeRaw();
+  EXPECT_FALSE(scaler.Transform(&d).ok());  // not fitted
+  ASSERT_TRUE(scaler.Fit(d).ok());
+  Dataset wrong(3);
+  ASSERT_TRUE(wrong.AddRow(std::vector<float>{1, 2, 3}, kPositive).ok());
+  EXPECT_FALSE(scaler.Transform(&wrong).ok());  // shape mismatch
+}
+
+}  // namespace
+}  // namespace treewm::data

@@ -1,0 +1,87 @@
+// Tests for the suppression indistinguishability probe.
+
+#include "attacks/suppression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+
+namespace treewm::attacks {
+namespace {
+
+TEST(SuppressionProbeTest, SameDistributionLooksIndistinguishable) {
+  // Trigger = random subsample of the same pool as the decoys (the paper's
+  // construction): nearest-neighbour affinity should be near the null rate.
+  auto pool = data::synthetic::MakeBlobs(1, 600, 8, 1.0);
+  Rng rng(2);
+  auto trigger_idx = data::SampleTriggerIndices(pool, 30, &rng).MoveValue();
+  std::vector<uint8_t> is_trigger(pool.num_rows(), 0);
+  for (size_t idx : trigger_idx) is_trigger[idx] = 1;
+  std::vector<size_t> decoy_idx;
+  for (size_t i = 0; i < pool.num_rows(); ++i) {
+    if (!is_trigger[i]) decoy_idx.push_back(i);
+  }
+  auto report = ProbeSuppression(pool.Subset(trigger_idx), pool.Subset(decoy_idx))
+                    .MoveValue();
+  EXPECT_EQ(report.trigger_size, 30u);
+  // Affinity within ~6x of the (tiny) null expectation — i.e. no usable
+  // clustering signal for the attacker.
+  EXPECT_LT(report.trigger_nn_fraction, 0.3);
+  EXPECT_LT(report.separation_ratio, 6.0);
+}
+
+TEST(SuppressionProbeTest, ShiftedTriggersAreDetectable) {
+  // Counterfactual: a trigger set far from the data distribution (what a
+  // naive out-of-distribution trigger design would produce) clusters hard.
+  auto decoys = data::synthetic::MakeBlobs(3, 300, 4, 1.0);
+  data::Dataset trigger(4);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<float> row(4);
+    for (float& v : row) v = 0.98f + 0.02f * static_cast<float>(rng.UniformReal());
+    ASSERT_TRUE(trigger.AddRow(row, data::kPositive).ok());
+  }
+  auto report = ProbeSuppression(trigger, decoys).MoveValue();
+  EXPECT_GT(report.trigger_nn_fraction, 0.9);
+  EXPECT_GT(report.separation_ratio, 5.0);
+}
+
+TEST(SuppressionProbeTest, ExpectedFractionIsPoolShare) {
+  auto pool = data::synthetic::MakeBlobs(5, 101, 3, 1.0);
+  std::vector<size_t> first(pool.num_rows());
+  for (size_t i = 0; i < pool.num_rows(); ++i) first[i] = i;
+  auto trigger = pool.Subset({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  auto decoys = pool.Subset(std::vector<size_t>(first.begin() + 11, first.end()));
+  auto report = ProbeSuppression(trigger, decoys).MoveValue();
+  EXPECT_NEAR(report.expected_fraction, 10.0 / 100.0, 1e-9);
+}
+
+TEST(SuppressionProbeTest, ValidatesInputs) {
+  data::Dataset empty(3);
+  auto decoys = data::synthetic::MakeBlobs(6, 50, 3, 1.0);
+  EXPECT_FALSE(ProbeSuppression(empty, decoys).ok());
+  EXPECT_FALSE(ProbeSuppression(decoys, empty).ok());
+  data::Dataset wrong(5);
+  Rng rng(7);
+  std::vector<float> row(5, 0.5f);
+  ASSERT_TRUE(wrong.AddRow(row, data::kPositive).ok());
+  EXPECT_FALSE(ProbeSuppression(wrong, decoys).ok());
+}
+
+TEST(SuppressionProbeTest, RealWatermarkTriggerPassesProbe) {
+  // End-to-end: the trigger set produced by Algorithm 1 is a subsample of
+  // the training data, so the probe must find it indistinguishable.
+  auto data = data::synthetic::MakeBlobs(8, 500, 6, 1.5);
+  Rng rng(9);
+  auto tt = data::MakeTrainTest(data, 0.3, &rng).MoveValue();
+  // Trigger sampled from train; decoys are the test set (same distribution).
+  auto trigger_idx = data::SampleTriggerIndices(tt.train, 15, &rng).MoveValue();
+  auto report =
+      ProbeSuppression(tt.train.Subset(trigger_idx), tt.test).MoveValue();
+  EXPECT_LT(report.trigger_nn_fraction, 0.35);
+}
+
+}  // namespace
+}  // namespace treewm::attacks

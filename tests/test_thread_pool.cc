@@ -1,0 +1,96 @@
+// Unit tests for the thread pool and ParallelFor.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace treewm {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { ++counter; });
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, hits.size(), [&hits](size_t i) { hits[i] = static_cast<int>(i); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], static_cast<int>(i));
+}
+
+TEST(ParallelForTest, ZeroAndOneCounts) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 0, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+  ParallelFor(&pool, 1, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  // Summing i^2 must give the same result serial and parallel.
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> parts(500);
+    ParallelFor(&pool, parts.size(), [&parts](size_t i) {
+      parts[i] = static_cast<uint64_t>(i) * static_cast<uint64_t>(i);
+    });
+    return std::accumulate(parts.begin(), parts.end(), uint64_t{0});
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(GlobalPoolTest, IsSingletonAndUsable) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> counter{0};
+  ParallelFor(&a, 10, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace treewm

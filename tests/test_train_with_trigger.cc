@@ -1,0 +1,143 @@
+// Tests for the sample-weight boosting loop (Algorithm 1 lines 1-9).
+
+#include "core/train_with_trigger.h"
+
+#include <gtest/gtest.h>
+
+#include "data/sampling.h"
+#include "data/synthetic.h"
+
+namespace treewm::core {
+namespace {
+
+TriggerTrainingConfig SmallConfig(size_t num_trees, uint64_t seed) {
+  TriggerTrainingConfig config;
+  config.forest.num_trees = num_trees;
+  config.forest.seed = seed;
+  config.forest.feature_fraction = 0.7;
+  return config;
+}
+
+TEST(TrainWithTriggerTest, ConvergesOnCorrectLabels) {
+  auto data = data::synthetic::MakeBlobs(1, 300, 6, 2.0);
+  Rng rng(2);
+  auto trigger = data::SampleTriggerIndices(data, 6, &rng).MoveValue();
+  auto result = TrainWithTrigger(data, trigger, SmallConfig(8, 3)).MoveValue();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(AllTreesMatchTrigger(result.forest, data, trigger));
+}
+
+TEST(TrainWithTriggerTest, ConvergesOnFlippedLabels) {
+  // The hard case: every tree must *misclassify* the trigger points.
+  auto data = data::synthetic::MakeBlobs(4, 300, 6, 2.0);
+  Rng rng(5);
+  auto trigger = data::SampleTriggerIndices(data, 6, &rng).MoveValue();
+  data::Dataset flipped = data;
+  for (size_t idx : trigger) flipped.SetLabel(idx, -data.Label(idx));
+  auto result = TrainWithTrigger(flipped, trigger, SmallConfig(8, 6)).MoveValue();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(AllTreesMatchTrigger(result.forest, flipped, trigger));
+  // And w.r.t. the original labels every tree is wrong on the trigger.
+  for (size_t idx : trigger) {
+    for (const auto& t : result.forest.trees()) {
+      EXPECT_EQ(t.Predict(data.Row(idx)), -data.Label(idx));
+    }
+  }
+}
+
+TEST(TrainWithTriggerTest, ZeroRoundsWhenAlreadySatisfied) {
+  // Highly separable data: the first forest already classifies everything.
+  auto data = data::synthetic::MakeBlobs(7, 300, 4, 5.0);
+  Rng rng(8);
+  auto trigger = data::SampleTriggerIndices(data, 4, &rng).MoveValue();
+  TriggerTrainingConfig config = SmallConfig(5, 9);
+  config.forest.feature_fraction = 1.0;
+  auto result = TrainWithTrigger(data, trigger, config).MoveValue();
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.boost_rounds, 0u);
+  EXPECT_DOUBLE_EQ(result.final_trigger_weight, 1.0);
+}
+
+TEST(TrainWithTriggerTest, WeightsGrowWithRounds) {
+  auto data = data::synthetic::MakeBlobs(10, 400, 6, 0.8);  // noisy: needs boosting
+  Rng rng(11);
+  auto trigger = data::SampleTriggerIndices(data, 8, &rng).MoveValue();
+  data::Dataset flipped = data;
+  for (size_t idx : trigger) flipped.SetLabel(idx, -data.Label(idx));
+  auto result = TrainWithTrigger(flipped, trigger, SmallConfig(6, 12)).MoveValue();
+  if (result.boost_rounds > 0) {
+    EXPECT_GT(result.final_trigger_weight, 1.0);
+    EXPECT_DOUBLE_EQ(result.final_trigger_weight,
+                     1.0 + static_cast<double>(result.boost_rounds));
+  }
+}
+
+TEST(TrainWithTriggerTest, ImpossibleTriggerReportsNonConvergence) {
+  // Two identical instances with contradictory labels, both in the trigger:
+  // no tree can satisfy both, so the loop must hit its bound and report
+  // converged=false instead of hanging.
+  data::Dataset data(2);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        data.AddRow(std::vector<float>{0.2f + 0.01f * static_cast<float>(i), 0.5f},
+                    i % 2 == 0 ? +1 : -1)
+            .ok());
+  }
+  ASSERT_TRUE(data.AddRow(std::vector<float>{0.9f, 0.9f}, +1).ok());
+  ASSERT_TRUE(data.AddRow(std::vector<float>{0.9f, 0.9f}, -1).ok());
+  TriggerTrainingConfig config = SmallConfig(3, 13);
+  config.max_boost_rounds = 5;
+  config.forest.feature_fraction = 1.0;
+  auto result = TrainWithTrigger(data, {30, 31}, config).MoveValue();
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(TrainWithTriggerTest, ValidatesInputs) {
+  auto data = data::synthetic::MakeBlobs(14, 50, 3, 2.0);
+  TriggerTrainingConfig config = SmallConfig(3, 15);
+  EXPECT_FALSE(TrainWithTrigger(data, {}, config).ok());
+  EXPECT_FALSE(TrainWithTrigger(data, {999}, config).ok());
+  config.weight_increment = 0.0;
+  EXPECT_FALSE(TrainWithTrigger(data, {0}, config).ok());
+}
+
+TEST(AllTreesMatchTriggerTest, DetectsDeviations) {
+  auto data = data::synthetic::MakeBlobs(16, 100, 3, 3.0);
+  Rng rng(17);
+  auto trigger = data::SampleTriggerIndices(data, 3, &rng).MoveValue();
+  auto result = TrainWithTrigger(data, trigger, SmallConfig(4, 18)).MoveValue();
+  ASSERT_TRUE(result.converged);
+  // Flip a trigger label: the match must now fail.
+  data::Dataset tampered = data;
+  tampered.SetLabel(trigger[0], -data.Label(trigger[0]));
+  EXPECT_FALSE(AllTreesMatchTrigger(result.forest, tampered, trigger));
+}
+
+/// Sweep: convergence across trigger sizes and tree counts.
+struct TriggerParam {
+  size_t trigger_size;
+  size_t num_trees;
+};
+
+class TriggerSweep : public ::testing::TestWithParam<TriggerParam> {};
+
+TEST_P(TriggerSweep, FlippedTriggersConverge) {
+  const TriggerParam p = GetParam();
+  auto data = data::synthetic::MakeBlobs(20 + p.trigger_size, 400, 8, 1.5);
+  Rng rng(21);
+  auto trigger = data::SampleTriggerIndices(data, p.trigger_size, &rng).MoveValue();
+  data::Dataset flipped = data;
+  for (size_t idx : trigger) flipped.SetLabel(idx, -data.Label(idx));
+  auto result =
+      TrainWithTrigger(flipped, trigger, SmallConfig(p.num_trees, 22)).MoveValue();
+  EXPECT_TRUE(result.converged)
+      << "k=" << p.trigger_size << " m=" << p.num_trees;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TriggerSweep,
+                         ::testing::Values(TriggerParam{2, 4}, TriggerParam{4, 8},
+                                           TriggerParam{8, 8}, TriggerParam{12, 6},
+                                           TriggerParam{16, 10}));
+
+}  // namespace
+}  // namespace treewm::core

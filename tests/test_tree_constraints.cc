@@ -1,0 +1,104 @@
+// Unit tests for the leaf-option constraint builder.
+
+#include "smt/tree_constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace treewm::smt {
+namespace {
+
+using tree::DecisionTree;
+using tree::TreeNode;
+
+forest::RandomForest TwoStumps() {
+  // Stump A: +1 iff x0 <= 0.5. Stump B: +1 iff x1 > 0.3.
+  auto a = DecisionTree::FromNodes({TreeNode{0, 0.5f, 1, 2, 0},
+                                    TreeNode{-1, 0, -1, -1, +1},
+                                    TreeNode{-1, 0, -1, -1, -1}},
+                                   2)
+               .MoveValue();
+  auto b = DecisionTree::FromNodes({TreeNode{1, 0.3f, 1, 2, 0},
+                                    TreeNode{-1, 0, -1, -1, -1},
+                                    TreeNode{-1, 0, -1, -1, +1}},
+                                   2)
+               .MoveValue();
+  return forest::RandomForest::FromTrees({a, b}).MoveValue();
+}
+
+TEST(RequiredLabelTest, BitZeroKeepsLabelBitOneFlips) {
+  EXPECT_EQ(RequiredLabel(+1, 0), +1);
+  EXPECT_EQ(RequiredLabel(+1, 1), -1);
+  EXPECT_EQ(RequiredLabel(-1, 0), -1);
+  EXPECT_EQ(RequiredLabel(-1, 1), +1);
+}
+
+TEST(BuildTreeRequirementsTest, CollectsMatchingLeavesOnly) {
+  auto forest = TwoStumps();
+  auto reqs = BuildTreeRequirements(forest, {0, 0}, +1).MoveValue();
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].required_label, +1);
+  ASSERT_EQ(reqs[0].options.size(), 1u);  // one +1 leaf per stump
+  // Stump A's +1 leaf: x0 <= 0.5.
+  ASSERT_EQ(reqs[0].options[0].constraints.size(), 1u);
+  EXPECT_EQ(reqs[0].options[0].constraints[0].feature, 0);
+  EXPECT_DOUBLE_EQ(reqs[0].options[0].constraints[0].hi, 0.5);
+  // Stump B's +1 leaf: x1 > 0.3.
+  EXPECT_DOUBLE_EQ(reqs[1].options[0].constraints[0].lo, 0.30000001192092896);
+}
+
+TEST(BuildTreeRequirementsTest, BitOneSelectsOppositeLeaves) {
+  auto forest = TwoStumps();
+  auto reqs = BuildTreeRequirements(forest, {1, 1}, +1).MoveValue();
+  EXPECT_EQ(reqs[0].required_label, -1);
+  EXPECT_EQ(reqs[1].required_label, -1);
+}
+
+TEST(BuildTreeRequirementsTest, ValidatesInputs) {
+  auto forest = TwoStumps();
+  EXPECT_FALSE(BuildTreeRequirements(forest, {0}, +1).ok());       // wrong length
+  EXPECT_FALSE(BuildTreeRequirements(forest, {0, 0}, 0).ok());     // bad label
+  EXPECT_FALSE(BuildTreeRequirements(forest, {0, 0, 0}, +1).ok());
+}
+
+TEST(FilterOptionsTest, DropsIncompatibleLeaves) {
+  auto forest = TwoStumps();
+  auto reqs = BuildTreeRequirements(forest, {0, 0}, +1).MoveValue();
+  Box box(2);
+  // Force x0 > 0.9: stump A's +1 leaf (x0 <= 0.5) dies.
+  ASSERT_TRUE(box.Constrain(0, 0.9, 2.0));
+  const size_t remaining = FilterOptions(box, &reqs);
+  EXPECT_EQ(remaining, 1u);
+  EXPECT_TRUE(reqs[0].options.empty());
+  EXPECT_EQ(reqs[1].options.size(), 1u);
+}
+
+TEST(FilterOptionsTest, KeepsEverythingUnderUniversalBox) {
+  auto forest = TwoStumps();
+  auto reqs = BuildTreeRequirements(forest, {0, 1}, +1).MoveValue();
+  Box box(2);
+  const size_t remaining = FilterOptions(box, &reqs);
+  EXPECT_EQ(remaining, 2u);
+}
+
+TEST(BuildTreeRequirementsTest, DeepTreeConstraintCount) {
+  // On a real trained tree every option's constraints mention <= depth
+  // distinct features.
+  auto data = data::synthetic::MakeXor(3, 300);
+  forest::ForestConfig config;
+  config.num_trees = 3;
+  config.feature_fraction = 1.0;
+  auto forest = forest::RandomForest::Fit(data, {}, config).MoveValue();
+  auto reqs = BuildTreeRequirements(forest, {0, 0, 0}, +1).MoveValue();
+  for (size_t t = 0; t < reqs.size(); ++t) {
+    EXPECT_FALSE(reqs[t].options.empty());
+    const int depth = forest.trees()[t].Depth();
+    for (const auto& option : reqs[t].options) {
+      EXPECT_LE(option.constraints.size(), static_cast<size_t>(depth));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treewm::smt

@@ -1,0 +1,154 @@
+// Tests for the black-box verification protocol.
+
+#include "core/verification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/watermark.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+
+namespace treewm::core {
+namespace {
+
+struct Fixture {
+  WatermarkedModel wm;
+  data::Dataset test;
+  forest::RandomForest innocent;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  auto data = data::synthetic::MakeBlobs(seed, 500, 8, 2.0);
+  Rng rng(seed + 1);
+  auto tt = data::MakeTrainTest(data, 0.3, &rng).MoveValue();
+  auto sigma = Signature::Random(12, 0.5, &rng);
+  WatermarkConfig config;
+  config.seed = seed + 2;
+  config.grid.max_depth_grid = {4, -1};
+  config.grid.num_folds = 2;
+  config.trigger_training.forest.feature_fraction = 0.7;
+  Watermarker watermarker(config);
+  auto wm = watermarker.CreateWatermark(tt.train, sigma).MoveValue();
+
+  forest::ForestConfig innocent_config;
+  innocent_config.num_trees = 12;
+  innocent_config.tree = wm.tuned_config;
+  innocent_config.seed = seed + 3;
+  innocent_config.feature_fraction = 0.7;
+  auto innocent = forest::RandomForest::Fit(tt.train, {}, innocent_config).MoveValue();
+  return Fixture{std::move(wm), std::move(tt.test), std::move(innocent)};
+}
+
+TEST(VerificationTest, WatermarkedModelVerifies) {
+  Fixture fx = MakeFixture(100);
+  VerificationRequest request{fx.wm.signature, fx.wm.trigger_set, fx.test};
+  ForestBlackBox suspect(fx.wm.model);
+  Rng rng(1);
+  auto report = VerificationAuthority::Verify(suspect, request, &rng).MoveValue();
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.matching_instances, report.trigger_size);
+  EXPECT_DOUBLE_EQ(report.bit_match_rate, 1.0);
+  EXPECT_LT(report.log10_p_value, -6.0);      // overwhelming evidence
+  EXPECT_LT(report.log10_bit_p_value, -20.0);  // bit-level statistic agrees
+  EXPECT_TRUE(report.conclusive());
+  // Control instances behave like coin flips w.r.t. the signature pattern.
+  EXPECT_GT(report.control_match_rate, 0.2);
+  EXPECT_LT(report.control_match_rate, 0.8);
+}
+
+TEST(VerificationTest, InnocentModelDoesNotVerify) {
+  Fixture fx = MakeFixture(200);
+  VerificationRequest request{fx.wm.signature, fx.wm.trigger_set, fx.test};
+  ForestBlackBox innocent(fx.innocent);
+  Rng rng(2);
+  auto report = VerificationAuthority::Verify(innocent, request, &rng).MoveValue();
+  EXPECT_FALSE(report.verified);
+  EXPECT_LT(report.bit_match_rate, 0.95);
+  EXPECT_GT(report.log10_p_value, -3.0);  // no real evidence
+  EXPECT_FALSE(report.conclusive());
+}
+
+TEST(VerificationTest, ShuffleOrderDoesNotChangeOutcome) {
+  Fixture fx = MakeFixture(300);
+  VerificationRequest request{fx.wm.signature, fx.wm.trigger_set, fx.test};
+  ForestBlackBox suspect(fx.wm.model);
+  Rng rng_a(11);
+  Rng rng_b(9999);
+  auto a = VerificationAuthority::Verify(suspect, request, &rng_a).MoveValue();
+  auto b = VerificationAuthority::Verify(suspect, request, &rng_b).MoveValue();
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_EQ(a.matching_instances, b.matching_instances);
+  EXPECT_DOUBLE_EQ(a.bit_match_rate, b.bit_match_rate);
+}
+
+TEST(VerificationTest, WrongSignatureFailsVerification) {
+  Fixture fx = MakeFixture(400);
+  Rng rng(3);
+  auto wrong = Signature::Random(fx.wm.signature.length(), 0.5, &rng);
+  // Astronomically unlikely to equal the embedded signature; skip if it does.
+  if (wrong == fx.wm.signature) GTEST_SKIP();
+  VerificationRequest request{wrong, fx.wm.trigger_set, fx.test};
+  ForestBlackBox suspect(fx.wm.model);
+  auto report = VerificationAuthority::Verify(suspect, request, &rng).MoveValue();
+  EXPECT_FALSE(report.verified);
+}
+
+TEST(VerificationTest, ValidatesInputs) {
+  Fixture fx = MakeFixture(500);
+  ForestBlackBox suspect(fx.wm.model);
+  Rng rng(4);
+  // Empty trigger set.
+  VerificationRequest empty{fx.wm.signature, data::Dataset(8), fx.test};
+  EXPECT_FALSE(VerificationAuthority::Verify(suspect, empty, &rng).ok());
+  // Signature length mismatch.
+  auto short_sig = Signature::FromBitString("01").MoveValue();
+  VerificationRequest mismatched{short_sig, fx.wm.trigger_set, fx.test};
+  EXPECT_FALSE(VerificationAuthority::Verify(suspect, mismatched, &rng).ok());
+  // Feature mismatch between trigger and test sets.
+  VerificationRequest bad_features{fx.wm.signature, fx.wm.trigger_set,
+                                   data::Dataset(3)};
+  EXPECT_FALSE(VerificationAuthority::Verify(suspect, bad_features, &rng).ok());
+}
+
+TEST(VerificationTest, PartialTamperingLowersMatches) {
+  // Simulate an attacker who (implausibly, per §3.3) identified one trigger
+  // instance and flipped the model's behaviour there: verification must
+  // count exactly trigger_size-1 matching instances.
+  Fixture fx = MakeFixture(600);
+
+  class TamperedModel : public BlackBoxModel {
+   public:
+    TamperedModel(const forest::RandomForest& forest, std::vector<float> target)
+        : forest_(forest), target_(std::move(target)) {}
+    size_t NumTrees() const override { return forest_.num_trees(); }
+    std::vector<int> QueryPredictAll(std::span<const float> x) const override {
+      auto votes = forest_.PredictAll(x);
+      bool is_target = x.size() == target_.size();
+      for (size_t f = 0; is_target && f < x.size(); ++f) {
+        if (x[f] != target_[f]) is_target = false;
+      }
+      if (is_target) {
+        for (int& v : votes) v = -v;  // suppress the pattern on the target
+      }
+      return votes;
+    }
+
+   private:
+    const forest::RandomForest& forest_;
+    std::vector<float> target_;
+  };
+
+  std::vector<float> target(fx.wm.trigger_set.Row(0).begin(),
+                            fx.wm.trigger_set.Row(0).end());
+  TamperedModel tampered(fx.wm.model, target);
+  VerificationRequest request{fx.wm.signature, fx.wm.trigger_set, fx.test};
+  Rng rng(5);
+  auto report = VerificationAuthority::Verify(tampered, request, &rng).MoveValue();
+  EXPECT_FALSE(report.verified);
+  EXPECT_EQ(report.matching_instances, report.trigger_size - 1);
+  // One suppressed instance cannot erase the statistical evidence.
+  EXPECT_TRUE(report.conclusive());
+}
+
+}  // namespace
+}  // namespace treewm::core
