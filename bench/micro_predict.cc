@@ -1,10 +1,20 @@
 // Micro-benchmarks: inference throughput (single tree, forest majority vote,
-// per-tree predict-all as used by black-box verification).
+// per-tree predict-all as used by black-box verification), including the
+// flat-engine vs scalar-reference comparison that gates the batched
+// inference work: BM_*Flat must stay well ahead of its BM_*Scalar twin on
+// the 32-tree, 4000×20 fixture.
+//
+// Machine-readable output convention (see bench/README.md):
+//   ./micro_predict --benchmark_out=BENCH_predict.json --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "data/synthetic.h"
 #include "forest/random_forest.h"
+#include "predict/batch_predictor.h"
+#include "predict/reference.h"
 
 namespace {
 
@@ -65,15 +75,75 @@ void BM_ForestPredictAll(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredictAll)->Arg(8)->Arg(32)->Arg(80);
 
-void BM_ForestAccuracyBatch(benchmark::State& state) {
+// --- flat engine vs retained scalar reference (the acceptance gate) --------
+
+void BM_ForestAccuracyScalar(benchmark::State& state) {
   const Fixture& fx = CachedFixture(32);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fx.forest.Accuracy(fx.data));
+    benchmark::DoNotOptimize(predict::reference::Accuracy(fx.forest, fx.data));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(fx.data.num_rows()));
 }
-BENCHMARK(BM_ForestAccuracyBatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForestAccuracyScalar)->Unit(benchmark::kMillisecond);
+
+void BM_ForestAccuracyFlat(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.forest.Accuracy(fx.data));  // flat engine
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_ForestAccuracyFlat)->Unit(benchmark::kMillisecond);
+
+void BM_PredictAllBatchScalar(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(32);
+  for (auto _ : state) {
+    auto votes = predict::reference::PredictAllBatch(fx.forest, fx.data);
+    benchmark::DoNotOptimize(votes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_PredictAllBatchScalar)->Unit(benchmark::kMillisecond);
+
+void BM_PredictAllBatchFlat(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(32);
+  for (auto _ : state) {
+    auto votes = fx.forest.PredictAllBatch(fx.data);  // flat engine
+    benchmark::DoNotOptimize(votes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_PredictAllBatchFlat)->Unit(benchmark::kMillisecond);
+
+// Reusing a prebuilt predictor strips the per-call FlatEnsemble rebuild —
+// the serving-loop configuration.
+void BM_ForestAccuracyFlatPrebuilt(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(32);
+  predict::BatchPredictor predictor(
+      predict::FlatEnsemble::FromClassificationTrees(fx.forest.trees()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.LabelAccuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_ForestAccuracyFlatPrebuilt)->Unit(benchmark::kMillisecond);
+
+// Cost of packing the ensemble into the SoA arena (paid once per batch call
+// in the model-class entry points).
+void BM_FlatEnsembleBuild(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(32);
+  for (auto _ : state) {
+    auto flat = predict::FlatEnsemble::FromClassificationTrees(fx.forest.trees());
+    benchmark::DoNotOptimize(flat);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatEnsembleBuild);
 
 }  // namespace
 

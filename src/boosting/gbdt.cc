@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "predict/batch_predictor.h"
+#include "predict/flat_cache.h"
 
 namespace treewm::boosting {
 
@@ -89,28 +91,28 @@ int Gbdt::Predict(std::span<const float> row) const {
   return Score(row) >= 0.0 ? data::kPositive : data::kNegative;
 }
 
+// Batch paths route through the flat engine; the per-row Score/Predict above
+// remain the scalar reference. Flat accumulation visits trees in the same
+// ascending order with the same operation sequence, so accuracies (and the
+// underlying scores) are bit-exact with the scalar loop.
+
+std::shared_ptr<const predict::FlatEnsemble> Gbdt::Flat() const {
+  return predict::LazyFlat(&flat_cache_, [this] {
+    return predict::FlatEnsemble::FromRegressionTrees(trees_, initial_score_,
+                                                      learning_rate_);
+  });
+}
+
 double Gbdt::Accuracy(const data::Dataset& dataset) const {
-  if (dataset.num_rows() == 0) return 0.0;
-  size_t correct = 0;
-  for (size_t i = 0; i < dataset.num_rows(); ++i) {
-    if (Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(dataset.num_rows());
+  return predict::BatchPredictor(Flat()).ScoreAccuracy(dataset);
 }
 
 double Gbdt::StagedAccuracy(const data::Dataset& dataset, size_t k) const {
-  if (dataset.num_rows() == 0) return 0.0;
-  k = std::min(k, trees_.size());
-  size_t correct = 0;
-  for (size_t i = 0; i < dataset.num_rows(); ++i) {
-    double score = initial_score_;
-    for (size_t t = 0; t < k; ++t) {
-      score += learning_rate_ * trees_[t].Predict(dataset.Row(i));
-    }
-    const int prediction = score >= 0.0 ? data::kPositive : data::kNegative;
-    if (prediction == dataset.Label(i)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(dataset.num_rows());
+  return predict::BatchPredictor(Flat()).ScoreAccuracy(dataset, k);
+}
+
+std::vector<double> Gbdt::StagedAccuracyCurve(const data::Dataset& dataset) const {
+  return predict::BatchPredictor(Flat()).StagedAccuracyCurve(dataset);
 }
 
 std::string GbdtWatermarkabilityNote() {

@@ -12,6 +12,7 @@
 #ifndef TREEWM_BOOSTING_GBDT_H_
 #define TREEWM_BOOSTING_GBDT_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "boosting/regression_tree.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "predict/flat_cache.h"
 
 namespace treewm::boosting {
 
@@ -52,6 +54,11 @@ class Gbdt {
   /// Accuracy using only the first `k` trees — the staged-performance curve.
   double StagedAccuracy(const data::Dataset& dataset, size_t k) const;
 
+  /// result[k] = StagedAccuracy(dataset, k) for every k in [0, num_trees],
+  /// computed in ONE batch traversal via per-tree partial sums instead of k
+  /// full re-scans per stage.
+  std::vector<double> StagedAccuracyCurve(const data::Dataset& dataset) const;
+
   size_t num_trees() const { return trees_.size(); }
   const std::vector<RegressionTree>& trees() const { return trees_; }
   double initial_score() const { return initial_score_; }
@@ -59,10 +66,17 @@ class Gbdt {
 
  private:
   Gbdt() = default;
+
+  /// Packed inference image, built lazily on the first batch call and shared
+  /// across calls (and copies) — the model is immutable after Fit, so the
+  /// cache can never go stale.
+  std::shared_ptr<const predict::FlatEnsemble> Flat() const;
+
   std::vector<RegressionTree> trees_;
   double initial_score_ = 0.0;
   double learning_rate_ = 0.1;
   size_t num_features_ = 0;
+  mutable predict::FlatCacheSlot flat_cache_;
 };
 
 /// Why Algorithm 1 does not port verbatim to boosting — the analysis the

@@ -4,6 +4,11 @@
 
 namespace treewm {
 
+namespace {
+/// The pool (if any) whose WorkerLoop is running on this thread.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -35,7 +40,10 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::OnWorkerThread() const { return t_current_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  t_current_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -66,28 +74,32 @@ ThreadPool& ThreadPool::Global() {
 
 void ParallelFor(ThreadPool* pool, size_t count,
                  const std::function<void(size_t)>& body) {
-  if (pool == nullptr || count <= 1 || pool->num_threads() == 1) {
+  // Run inline when fan-out cannot help — including when the caller is
+  // itself one of `pool`'s workers: blocking that worker on sub-tasks would
+  // deadlock once every worker does it (nested ParallelFor).
+  if (pool == nullptr || count <= 1 || pool->num_threads() == 1 ||
+      pool->OnWorkerThread()) {
     for (size_t i = 0; i < count; ++i) body(i);
     return;
   }
   std::atomic<size_t> next{0};
-  std::atomic<size_t> pending{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
   const size_t shards = std::min(count, pool->num_threads());
-  pending.store(shards);
+  size_t pending = shards;  // guarded by done_mutex
   for (size_t s = 0; s < shards; ++s) {
     pool->Submit([&] {
       size_t i;
       while ((i = next.fetch_add(1)) < count) body(i);
-      if (pending.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
+      // Decrement and notify under the lock: the waiting caller owns these
+      // stack objects and may destroy them the moment it observes
+      // pending == 0, so the last worker must not touch them afterwards.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--pending == 0) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return pending.load() == 0; });
+  done_cv.wait(lock, [&] { return pending == 0; });
 }
 
 }  // namespace treewm

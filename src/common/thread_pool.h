@@ -41,6 +41,11 @@ class ThreadPool {
   /// Returns a process-wide pool sized to the hardware concurrency.
   static ThreadPool& Global();
 
+  /// True when the calling thread is one of THIS pool's workers. ParallelFor
+  /// uses it to run inline instead of deadlocking: a worker that blocked
+  /// waiting on sub-tasks would occupy the very slot needed to run them.
+  bool OnWorkerThread() const;
+
  private:
   void WorkerLoop();
 

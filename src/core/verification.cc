@@ -41,6 +41,15 @@ double Log10BinomialTail(size_t n, size_t k, double p) {
 
 }  // namespace
 
+std::vector<std::vector<int>> BlackBoxModel::QueryPredictAllBatch(
+    const data::Dataset& batch) const {
+  std::vector<std::vector<int>> out(batch.num_rows());
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    out[i] = QueryPredictAll(batch.Row(i));
+  }
+  return out;
+}
+
 Result<VerificationReport> VerificationAuthority::Verify(
     const BlackBoxModel& model, const VerificationRequest& request, Rng* rng) {
   const data::Dataset& trigger = request.trigger_set;
@@ -70,15 +79,32 @@ Result<VerificationReport> VerificationAuthority::Verify(
   for (size_t i = 0; i < decoys.num_rows(); ++i) batch.push_back({false, i});
   rng->Shuffle(&batch);
 
+  // Materialize the disguised batch and query the suspect once; a batched
+  // implementation answers all rows through the flat-inference engine. The
+  // batch carries a CONSTANT placeholder label: the suspect is untrusted,
+  // and true labels (especially the triggers' expected responses) must
+  // never cross the black-box boundary. Scoring below reads labels from
+  // the sources, not from this dataset.
+  data::Dataset disguised(trigger.num_features());
+  disguised.Reserve(batch.size());
+  for (const BatchRow& row : batch) {
+    const data::Dataset& source = row.is_trigger ? trigger : decoys;
+    TREEWM_RETURN_IF_ERROR(
+        disguised.AddRow(source.Row(row.source_row), data::kPositive));
+  }
+  const std::vector<std::vector<int>> all_votes =
+      model.QueryPredictAllBatch(disguised);
+
   VerificationReport report;
   report.trigger_size = trigger.num_rows();
 
   size_t trigger_bit_matches = 0;
   size_t control_bit_matches = 0;
   size_t control_bits = 0;
-  for (const BatchRow& row : batch) {
+  for (size_t b = 0; b < batch.size(); ++b) {
+    const BatchRow& row = batch[b];
     const data::Dataset& source = row.is_trigger ? trigger : decoys;
-    const std::vector<int> votes = model.QueryPredictAll(source.Row(row.source_row));
+    const std::vector<int>& votes = all_votes[b];
     const int y = source.Label(row.source_row);
     size_t matches = 0;
     for (size_t t = 0; t < m; ++t) {

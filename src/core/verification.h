@@ -31,6 +31,14 @@ class BlackBoxModel {
 
   /// Per-tree prediction sequence for `x`.
   virtual std::vector<int> QueryPredictAll(std::span<const float> x) const = 0;
+
+  /// Per-tree predictions for every row of `batch`; result[i][t] is tree t's
+  /// vote on row i. The protocol submits the whole disguised batch through
+  /// this entry point. The default loops QueryPredictAll row by row;
+  /// implementations backed by a real ensemble override it with the batched
+  /// flat-inference engine.
+  virtual std::vector<std::vector<int>> QueryPredictAllBatch(
+      const data::Dataset& batch) const;
 };
 
 /// Adapter exposing a RandomForest through the black-box interface.
@@ -42,6 +50,11 @@ class ForestBlackBox : public BlackBoxModel {
 
   std::vector<int> QueryPredictAll(std::span<const float> x) const override {
     return forest_.PredictAll(x);
+  }
+
+  std::vector<std::vector<int>> QueryPredictAllBatch(
+      const data::Dataset& batch) const override {
+    return forest_.PredictAllBatch(batch);  // batched flat-ensemble engine
   }
 
  private:

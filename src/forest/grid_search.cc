@@ -64,6 +64,8 @@ Result<GridSearchOutcome> GridSearch(const data::Dataset& dataset, size_t num_tr
         TREEWM_ASSIGN_OR_RETURN(
             RandomForest forest,
             RandomForest::Fit(fold_train[fold], /*weights=*/{}, forest_config));
+        // Fold evaluation runs through the batched flat-ensemble engine
+        // (Accuracy routes to predict::BatchPredictor).
         accuracy_sum += forest.Accuracy(fold_valid[fold]);
       }
       GridPoint point;

@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "predict/batch_predictor.h"
+#include "predict/flat_cache.h"
 
 namespace treewm::forest {
 
@@ -112,26 +114,26 @@ std::vector<int> RandomForest::PredictAll(std::span<const float> row) const {
   return votes;
 }
 
+// All batch paths route through the flat engine (scalar per-row Predict /
+// PredictAll above remain the reference; see predict/reference.h).
+
+std::shared_ptr<const predict::FlatEnsemble> RandomForest::Flat() const {
+  return predict::LazyFlat(&flat_cache_, [this] {
+    return predict::FlatEnsemble::FromClassificationTrees(trees_);
+  });
+}
+
 std::vector<int> RandomForest::PredictBatch(const data::Dataset& dataset) const {
-  std::vector<int> out(dataset.num_rows());
-  for (size_t i = 0; i < dataset.num_rows(); ++i) out[i] = Predict(dataset.Row(i));
-  return out;
+  return predict::BatchPredictor(Flat()).PredictLabels(dataset);
 }
 
 std::vector<std::vector<int>> RandomForest::PredictAllBatch(
     const data::Dataset& dataset) const {
-  std::vector<std::vector<int>> out(dataset.num_rows());
-  for (size_t i = 0; i < dataset.num_rows(); ++i) out[i] = PredictAll(dataset.Row(i));
-  return out;
+  return predict::BatchPredictor(Flat()).PredictAllLabels(dataset);
 }
 
 double RandomForest::Accuracy(const data::Dataset& dataset) const {
-  if (dataset.num_rows() == 0) return 0.0;
-  size_t correct = 0;
-  for (size_t i = 0; i < dataset.num_rows(); ++i) {
-    if (Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(dataset.num_rows());
+  return predict::BatchPredictor(Flat()).LabelAccuracy(dataset);
 }
 
 std::vector<double> RandomForest::TreeDepths() const {

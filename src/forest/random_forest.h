@@ -9,6 +9,7 @@
 #ifndef TREEWM_FOREST_RANDOM_FOREST_H_
 #define TREEWM_FOREST_RANDOM_FOREST_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
+#include "predict/flat_cache.h"
 #include "tree/decision_tree.h"
 
 namespace treewm::forest {
@@ -89,8 +91,14 @@ class RandomForest {
  private:
   RandomForest() = default;
 
+  /// Packed inference image, built lazily on the first batch call and shared
+  /// across calls (and copies) — trees_ is immutable after construction, so
+  /// the cache can never go stale.
+  std::shared_ptr<const predict::FlatEnsemble> Flat() const;
+
   std::vector<tree::DecisionTree> trees_;
   size_t num_features_ = 0;
+  mutable predict::FlatCacheSlot flat_cache_;
 };
 
 }  // namespace treewm::forest

@@ -1,0 +1,105 @@
+#include "predict/flat_ensemble.h"
+
+#include <algorithm>
+#include <cassert>
+#include <type_traits>
+
+namespace treewm::predict {
+
+template <typename Node>
+int64_t FlatEnsemble::PackTree(std::span<const Node> nodes,
+                               std::vector<int64_t>* entry_scratch) {
+  assert(!nodes.empty());
+  const int64_t base_internal = static_cast<int64_t>(nodes_.size());
+
+  // Pass 1: assign arena entries (internal nodes get byte-scaled offsets,
+  // leaves get ~payload) in source order, keeping each tree's nodes
+  // contiguous in the arena.
+  std::vector<int64_t>& entry_of = *entry_scratch;
+  entry_of.resize(nodes.size());
+  int64_t next_internal = base_internal;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].feature == -1) {
+      if constexpr (std::is_same_v<Node, tree::TreeNode>) {
+        entry_of[i] = ~static_cast<int64_t>(leaf_labels_.size());
+        leaf_labels_.push_back(static_cast<int8_t>(nodes[i].label));
+      } else {
+        entry_of[i] = ~static_cast<int64_t>(leaf_values_.size());
+        leaf_values_.push_back(nodes[i].value);
+      }
+    } else {
+      entry_of[i] = (next_internal++) * static_cast<int64_t>(sizeof(FlatNode));
+    }
+  }
+
+  // Pass 2: fill the packed records with remapped child entries.
+  nodes_.resize(static_cast<size_t>(next_internal));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].feature == -1) continue;
+    FlatNode& n = nodes_[static_cast<size_t>(entry_of[i]) / sizeof(FlatNode)];
+    n.ft = static_cast<uint64_t>(FloatKey(nodes[i].threshold)) << 32 |
+           static_cast<uint32_t>(nodes[i].feature);
+    n.child[0] = entry_of[static_cast<size_t>(nodes[i].left)];
+    n.child[1] = entry_of[static_cast<size_t>(nodes[i].right)];
+  }
+  return entry_of[0];  // node 0 is the root in both source formats
+}
+
+FlatEnsemble FlatEnsemble::FromClassificationTrees(
+    std::span<const tree::DecisionTree> trees) {
+  FlatEnsemble out;
+  out.is_regression_ = false;
+  out.roots_.reserve(trees.size());
+  size_t total_nodes = 0;
+  size_t total_leaves = 0;
+  size_t max_nodes = 0;
+  for (const auto& t : trees) {
+    total_nodes += t.NumNodes();
+    total_leaves += t.NumLeaves();
+    max_nodes = std::max(max_nodes, t.NumNodes());
+  }
+  out.nodes_.reserve(total_nodes - total_leaves);
+  out.leaf_labels_.reserve(total_leaves);
+  std::vector<int64_t> scratch;
+  scratch.reserve(max_nodes);
+  for (const auto& t : trees) {
+    if (out.roots_.empty()) out.num_features_ = t.num_features();
+    assert(t.num_features() == out.num_features_);
+    out.roots_.push_back(out.PackTree<tree::TreeNode>(t.nodes(), &scratch));
+  }
+  return out;
+}
+
+FlatEnsemble FlatEnsemble::FromClassificationTree(const tree::DecisionTree& tree) {
+  return FromClassificationTrees({&tree, 1});
+}
+
+FlatEnsemble FlatEnsemble::FromRegressionTrees(
+    std::span<const boosting::RegressionTree> trees, double initial_score,
+    double learning_rate) {
+  FlatEnsemble out;
+  out.is_regression_ = true;
+  out.initial_score_ = initial_score;
+  out.learning_rate_ = learning_rate;
+  out.roots_.reserve(trees.size());
+  size_t total_nodes = 0;
+  size_t total_leaves = 0;
+  size_t max_nodes = 0;
+  for (const auto& t : trees) {
+    total_nodes += t.nodes().size();
+    total_leaves += t.NumLeaves();
+    max_nodes = std::max(max_nodes, t.nodes().size());
+  }
+  out.nodes_.reserve(total_nodes - total_leaves);
+  out.leaf_values_.reserve(total_leaves);
+  std::vector<int64_t> scratch;
+  scratch.reserve(max_nodes);
+  for (const auto& t : trees) {
+    if (out.roots_.empty()) out.num_features_ = t.num_features();
+    assert(t.num_features() == out.num_features_);
+    out.roots_.push_back(out.PackTree<boosting::RegressionNode>(t.nodes(), &scratch));
+  }
+  return out;
+}
+
+}  // namespace treewm::predict

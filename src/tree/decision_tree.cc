@@ -8,6 +8,8 @@
 #include <queue>
 
 #include "common/string_util.h"
+#include "predict/batch_predictor.h"
+#include "predict/flat_cache.h"
 #include "tree/splitter.h"
 
 namespace treewm::tree {
@@ -170,19 +172,19 @@ int DecisionTree::LeafIndexFor(std::span<const float> row) const {
   return node;
 }
 
+std::shared_ptr<const predict::FlatEnsemble> DecisionTree::Flat() const {
+  return predict::LazyFlat(&flat_cache_, [this] {
+    return predict::FlatEnsemble::FromClassificationTree(*this);
+  });
+}
+
 std::vector<int> DecisionTree::PredictBatch(const data::Dataset& dataset) const {
-  std::vector<int> out(dataset.num_rows());
-  for (size_t i = 0; i < dataset.num_rows(); ++i) out[i] = Predict(dataset.Row(i));
-  return out;
+  // A one-tree "ensemble": the majority vote is the tree's own label.
+  return predict::BatchPredictor(Flat()).PredictLabels(dataset);
 }
 
 double DecisionTree::Accuracy(const data::Dataset& dataset) const {
-  if (dataset.num_rows() == 0) return 0.0;
-  size_t correct = 0;
-  for (size_t i = 0; i < dataset.num_rows(); ++i) {
-    if (Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(dataset.num_rows());
+  return predict::BatchPredictor(Flat()).LabelAccuracy(dataset);
 }
 
 int DecisionTree::Depth() const {

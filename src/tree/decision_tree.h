@@ -9,12 +9,14 @@
 #ifndef TREEWM_TREE_DECISION_TREE_H_
 #define TREEWM_TREE_DECISION_TREE_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/json.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "predict/flat_cache.h"
 #include "tree/criterion.h"
 
 namespace treewm::tree {
@@ -119,9 +121,15 @@ class DecisionTree {
  private:
   DecisionTree() = default;
 
+  /// Packed one-tree inference image, built lazily on the first batch call
+  /// and shared across calls (and copies) — nodes_ is immutable after
+  /// construction, so the cache can never go stale.
+  std::shared_ptr<const predict::FlatEnsemble> Flat() const;
+
   std::vector<TreeNode> nodes_;
   std::vector<int> feature_subset_;
   size_t num_features_ = 0;
+  mutable predict::FlatCacheSlot flat_cache_;
 };
 
 }  // namespace treewm::tree

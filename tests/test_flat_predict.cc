@@ -1,0 +1,221 @@
+// Property tests for the batched flat-ensemble inference engine: on every
+// covered configuration, FlatEnsemble/BatchPredictor output must be
+// bit-exact with the scalar reference loops (predict/reference.h), for every
+// thread count and tiling shape.
+
+#include "predict/batch_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "boosting/gbdt.h"
+#include "data/synthetic.h"
+#include "forest/random_forest.h"
+#include "predict/flat_ensemble.h"
+#include "predict/reference.h"
+#include "tree/decision_tree.h"
+
+namespace treewm::predict {
+namespace {
+
+forest::RandomForest MakeForest(uint64_t seed, size_t num_trees, size_t rows,
+                                size_t features, int max_depth = -1) {
+  auto d = data::synthetic::MakeBlobs(seed, rows, features, 1.0);
+  forest::ForestConfig config;
+  config.num_trees = num_trees;
+  config.seed = seed;
+  config.tree.max_depth = max_depth;
+  return forest::RandomForest::Fit(d, {}, config).MoveValue();
+}
+
+TEST(FloatKeyTest, PreservesFloatOrdering) {
+  // FloatKey must be a monotone embedding of the non-NaN floats into uint32,
+  // with -0.0 == +0.0 — this is what makes integer-key traversal bit-exact.
+  const float values[] = {-std::numeric_limits<float>::infinity(), -3.5e12f,
+                          -7.25f, -1.0f, -1e-30f, -0.0f, 0.0f, 1e-30f, 0.125f,
+                          0.5f, 0.500001f, 1.0f, 77.0f, 3.5e12f,
+                          std::numeric_limits<float>::infinity()};
+  for (float a : values) {
+    for (float b : values) {
+      EXPECT_EQ(a <= b, FloatKey(a) <= FloatKey(b)) << a << " vs " << b;
+    }
+  }
+  EXPECT_EQ(FloatKey(-0.0f), FloatKey(0.0f));
+}
+
+TEST(FlatEnsembleTest, PacksForestStructure) {
+  auto forest = MakeForest(1, 5, 200, 6);
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  EXPECT_EQ(flat.num_trees(), 5u);
+  EXPECT_EQ(flat.num_features(), 6u);
+  EXPECT_FALSE(flat.is_regression());
+  size_t nodes = 0, leaves = 0;
+  for (const auto& t : forest.trees()) {
+    nodes += t.NumNodes();
+    leaves += t.NumLeaves();
+  }
+  EXPECT_EQ(flat.num_leaves(), leaves);
+  EXPECT_EQ(flat.num_internal_nodes(), nodes - leaves);
+}
+
+// The core property: flat == scalar for randomized forests across shapes.
+TEST(FlatEquivalenceTest, ForestBatchesMatchScalarAcrossRandomConfigs) {
+  struct Case {
+    uint64_t seed;
+    size_t trees, rows, features;
+    int max_depth;
+  };
+  const Case cases[] = {
+      {11, 1, 50, 3, -1},  {12, 3, 97, 5, 4},    {13, 16, 256, 8, -1},
+      {14, 7, 64, 12, 2},  {15, 33, 301, 4, -1}, {16, 2, 1, 6, -1},
+  };
+  for (const Case& c : cases) {
+    auto forest = MakeForest(c.seed, c.trees, c.rows, c.features, c.max_depth);
+    auto probe = data::synthetic::MakeBlobs(c.seed + 100, c.rows, c.features, 0.7);
+    EXPECT_EQ(forest.PredictBatch(probe), reference::PredictBatch(forest, probe))
+        << "seed " << c.seed;
+    EXPECT_EQ(forest.PredictAllBatch(probe), reference::PredictAllBatch(forest, probe))
+        << "seed " << c.seed;
+    EXPECT_DOUBLE_EQ(forest.Accuracy(probe), reference::Accuracy(forest, probe))
+        << "seed " << c.seed;
+  }
+}
+
+TEST(FlatEquivalenceTest, SingleTreeBatchesMatchScalar) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    auto d = data::synthetic::MakeBlobs(seed, 150, 5, 1.0);
+    tree::TreeConfig config;
+    auto tree = tree::DecisionTree::Fit(d, {}, config).MoveValue();
+    auto probe = data::synthetic::MakeBlobs(seed + 50, 77, 5, 0.9);
+    EXPECT_EQ(tree.PredictBatch(probe), reference::PredictBatch(tree, probe));
+    EXPECT_DOUBLE_EQ(tree.Accuracy(probe), reference::Accuracy(tree, probe));
+  }
+}
+
+TEST(FlatEquivalenceTest, ThreadCountsAndTilingsNeverChangeResults) {
+  auto forest = MakeForest(31, 9, 230, 7);
+  auto probe = data::synthetic::MakeBlobs(32, 230, 7, 0.8);
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  const auto expected_votes = reference::PredictAllBatch(forest, probe);
+  const auto expected_labels = reference::PredictBatch(forest, probe);
+  const double expected_acc = reference::Accuracy(forest, probe);
+  for (size_t threads : {1u, 2u, 5u}) {
+    for (size_t row_block : {1u, 3u, 64u, 1000u}) {
+      for (size_t tree_block : {1u, 4u, 100u}) {
+        BatchOptions options;
+        options.num_threads = threads;
+        options.row_block = row_block;
+        options.tree_block = tree_block;
+        BatchPredictor predictor(flat, options);
+        EXPECT_EQ(predictor.PredictAllLabels(probe), expected_votes)
+            << threads << "/" << row_block << "/" << tree_block;
+        EXPECT_EQ(predictor.PredictLabels(probe), expected_labels);
+        EXPECT_DOUBLE_EQ(predictor.LabelAccuracy(probe), expected_acc);
+      }
+    }
+  }
+}
+
+TEST(FlatEquivalenceTest, SingleLeafTreesAndMixedDepths) {
+  // Forest mixing root-only leaves with a real tree: exercises negative root
+  // entries and idle lanes in the 4-way walk.
+  auto plus = tree::DecisionTree::FromNodes({tree::TreeNode{-1, 0, -1, -1, +1}}, 4)
+                  .MoveValue();
+  auto minus = tree::DecisionTree::FromNodes({tree::TreeNode{-1, 0, -1, -1, -1}}, 4)
+                   .MoveValue();
+  auto d = data::synthetic::MakeBlobs(41, 120, 4, 1.5);
+  tree::TreeConfig config;
+  auto deep = tree::DecisionTree::Fit(d, {}, config).MoveValue();
+  auto forest = forest::RandomForest::FromTrees({plus, minus, deep, plus, minus})
+                    .MoveValue();
+  EXPECT_EQ(forest.PredictBatch(d), reference::PredictBatch(forest, d));
+  EXPECT_EQ(forest.PredictAllBatch(d), reference::PredictAllBatch(forest, d));
+  EXPECT_DOUBLE_EQ(forest.Accuracy(d), reference::Accuracy(forest, d));
+
+  // All-leaf ensemble: empty arena, every entry negative.
+  auto leaves_only = forest::RandomForest::FromTrees({plus, minus, plus}).MoveValue();
+  EXPECT_EQ(leaves_only.PredictBatch(d), reference::PredictBatch(leaves_only, d));
+  EXPECT_DOUBLE_EQ(leaves_only.Accuracy(d), reference::Accuracy(leaves_only, d));
+}
+
+TEST(FlatEquivalenceTest, EmptyAndTinyDatasets) {
+  auto forest = MakeForest(51, 5, 90, 3);
+  data::Dataset empty(3);
+  EXPECT_TRUE(forest.PredictBatch(empty).empty());
+  EXPECT_TRUE(forest.PredictAllBatch(empty).empty());
+  EXPECT_DOUBLE_EQ(forest.Accuracy(empty), 0.0);  // documented convention
+
+  data::Dataset one(3);
+  ASSERT_TRUE(one.AddRow(std::vector<float>{0.2f, 0.8f, 0.5f}, -1).ok());
+  EXPECT_EQ(forest.PredictBatch(one), reference::PredictBatch(forest, one));
+  EXPECT_EQ(forest.PredictAllBatch(one), reference::PredictAllBatch(forest, one));
+  EXPECT_DOUBLE_EQ(forest.Accuracy(one), reference::Accuracy(forest, one));
+}
+
+TEST(FlatEquivalenceTest, CachedFlatImageSurvivesCopiesAndRepeatedCalls) {
+  // RandomForest lazily caches its packed image; copies share it and
+  // repeated batch calls must keep returning identical results.
+  auto forest = MakeForest(55, 6, 120, 5);
+  auto probe = data::synthetic::MakeBlobs(56, 80, 5, 1.0);
+  const auto first = forest.PredictAllBatch(probe);   // builds the cache
+  const auto copy = forest;                           // shares the cache
+  EXPECT_EQ(copy.PredictAllBatch(probe), first);
+  EXPECT_EQ(forest.PredictAllBatch(probe), first);    // cache hit
+  EXPECT_DOUBLE_EQ(forest.Accuracy(probe), reference::Accuracy(forest, probe));
+}
+
+TEST(FlatEquivalenceTest, GbdtScoresAreBitExact) {
+  for (uint64_t seed : {61u, 62u}) {
+    auto d = data::synthetic::MakeBlobs(seed, 220, 6, 0.9);
+    boosting::GbdtConfig config;
+    config.num_trees = 25;
+    auto model = boosting::Gbdt::Fit(d, config).MoveValue();
+    auto probe = data::synthetic::MakeBlobs(seed + 9, 143, 6, 0.9);
+
+    // Scores, not just signs, must be bit-identical with the scalar path.
+    auto flat = FlatEnsemble::FromRegressionTrees(
+        model.trees(), model.initial_score(), model.learning_rate());
+    for (size_t threads : {1u, 2u, 4u}) {
+      BatchOptions options;
+      options.num_threads = threads;
+      BatchPredictor predictor(flat, options);
+      const auto scores = predictor.Scores(probe);
+      ASSERT_EQ(scores.size(), probe.num_rows());
+      for (size_t i = 0; i < probe.num_rows(); ++i) {
+        EXPECT_EQ(scores[i], model.Score(probe.Row(i))) << "row " << i;
+      }
+    }
+
+    EXPECT_DOUBLE_EQ(model.Accuracy(probe), reference::Accuracy(model, probe));
+    for (size_t k : {0u, 1u, 7u, 25u, 1000u}) {
+      EXPECT_DOUBLE_EQ(model.StagedAccuracy(probe, k),
+                       reference::StagedAccuracy(model, probe, k))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(FlatEquivalenceTest, StagedAccuracyCurveMatchesPerStageRescans) {
+  auto d = data::synthetic::MakeBlobs(71, 180, 5, 1.1);
+  boosting::GbdtConfig config;
+  config.num_trees = 12;
+  auto model = boosting::Gbdt::Fit(d, config).MoveValue();
+  auto probe = data::synthetic::MakeBlobs(72, 95, 5, 1.1);
+  const auto curve = model.StagedAccuracyCurve(probe);
+  ASSERT_EQ(curve.size(), model.num_trees() + 1);
+  for (size_t k = 0; k <= model.num_trees(); ++k) {
+    EXPECT_DOUBLE_EQ(curve[k], reference::StagedAccuracy(model, probe, k))
+        << "k=" << k;
+  }
+  EXPECT_DOUBLE_EQ(curve.back(), model.Accuracy(probe));
+
+  data::Dataset empty(5);
+  const auto empty_curve = model.StagedAccuracyCurve(empty);
+  ASSERT_EQ(empty_curve.size(), model.num_trees() + 1);
+  for (double v : empty_curve) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace treewm::predict

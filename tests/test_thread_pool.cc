@@ -83,6 +83,18 @@ TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
   EXPECT_EQ(run(1), run(8));
 }
 
+TEST(ParallelForTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A ParallelFor body that itself calls ParallelFor on the same pool must
+  // not block waiting for workers it is occupying: the inner loop detects
+  // the worker thread and runs inline.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 8, [&](size_t) {
+    ParallelFor(&pool, 8, [&](size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
 TEST(GlobalPoolTest, IsSingletonAndUsable) {
   ThreadPool& a = ThreadPool::Global();
   ThreadPool& b = ThreadPool::Global();
