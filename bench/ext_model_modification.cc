@@ -34,15 +34,21 @@ int main() {
     Rng verify_rng(7);
     auto report =
         core::VerificationAuthority::Verify(box, request, &verify_rng).MoveValue();
-    std::printf("%-18s %8.2f %10.4f %10.4f %10.3f %9s %11s\n", attack, parameter,
-                model.Accuracy(env.test), model.Accuracy(env.test) - base_accuracy,
-                report.bit_match_rate, report.verified ? "yes" : "no",
+    // How much of the model's per-tree behaviour the attack actually changed
+    // (one batched vote-matrix query per model).
+    const double flip_rate =
+        attacks::VoteFlipRate(wm.model, model, env.test).MoveValue();
+    const double accuracy = model.Accuracy(env.test);
+    std::printf("%-18s %8.2f %10.4f %10.4f %10.3f %10.4f %9s %11s\n", attack,
+                parameter, accuracy, accuracy - base_accuracy,
+                report.bit_match_rate, flip_rate, report.verified ? "yes" : "no",
                 report.conclusive() ? "conclusive" : "destroyed");
   };
 
   bench::PrintRule();
-  std::printf("%-18s %8s %10s %10s %10s %9s %11s\n", "attack", "param", "acc",
-              "acc delta", "bit match", "verified", "evidence");
+  std::printf("%-18s %8s %10s %10s %10s %10s %9s %11s\n", "attack", "param",
+              "acc", "acc delta", "bit match", "vote flip", "verified",
+              "evidence");
   bench::PrintRule();
 
   for (int depth : {8, 5, 3, 1}) {

@@ -33,8 +33,9 @@ int main() {
     attack.max_nodes_per_instance = 200000;
     auto report =
         attacks::RunForgeryAttack(wm.model, fake, env.test, attack).MoveValue();
-    std::printf("\nε = %.1f: forged %zu instance(s) out of %zu attempts\n",
-                epsilon, report.forged, report.attempts);
+    std::printf("\nε = %.1f: forged %zu instance(s) out of %zu attempts "
+                "(%zu revalidated in one batched query)\n",
+                epsilon, report.forged, report.attempts, report.revalidated);
     if (!report.instances.empty()) {
       const auto& inst = report.instances.front();
       std::printf("anchor row %zu, achieved L∞ distance %.3f\n", inst.source_row,

@@ -119,6 +119,20 @@ void BM_PredictAllBatchFlat(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictAllBatchFlat)->Unit(benchmark::kMillisecond);
 
+// The flat vote-matrix output shape: same traversal as PredictAllBatchFlat
+// minus the vector<vector<int>> materialization (one contiguous allocation
+// for the whole batch). Expected within ~10% of BM_ForestAccuracyFlat.
+void BM_PredictAllVotesFlat(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(32);
+  for (auto _ : state) {
+    auto votes = fx.forest.PredictAllVotes(fx.data);  // VoteMatrix path
+    benchmark::DoNotOptimize(votes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_PredictAllVotesFlat)->Unit(benchmark::kMillisecond);
+
 // Reusing a prebuilt predictor strips the per-call FlatEnsemble rebuild —
 // the serving-loop configuration.
 void BM_ForestAccuracyFlatPrebuilt(benchmark::State& state) {

@@ -1,11 +1,17 @@
 // Micro-benchmarks: CDCL SAT solver on random 3SAT (across the density
-// spectrum) and pigeonhole instances.
+// spectrum) and pigeonhole instances, plus the solver-side witness
+// validation path: candidate forgery witnesses checked against the ensemble
+// one row block at a time through the flat engine (PatternHoldsBatch) vs the
+// retained scalar per-witness PredictAll reference.
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "core/signature.h"
+#include "data/synthetic.h"
 #include "reduction/three_cnf.h"
 #include "sat/solver.h"
+#include "smt/forgery_solver.h"
 
 namespace {
 
@@ -67,6 +73,69 @@ void BM_Pigeonhole(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Pigeonhole)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+// --- witness validation: scalar per-witness vs batched row blocks ----------
+//
+// The forgery pipeline's acceptance test asks, for a pool of candidate
+// witnesses, which ones induce the σ'-required per-tree pattern. The scalar
+// baseline pays one PredictAll ensemble walk per witness; the batched path
+// answers the whole pool with one flat-engine vote-matrix query
+// (smt::ForgerySolver::PatternHoldsBatch).
+
+struct WitnessFixture {
+  forest::RandomForest forest;
+  data::Dataset witnesses;
+  std::vector<uint8_t> signature_bits;
+};
+
+const WitnessFixture& CachedWitnessFixture() {
+  static auto* fx = [] {
+    auto data = data::synthetic::MakeBlobs(17, 2000, 20, 1.2);
+    forest::ForestConfig config;
+    config.num_trees = 32;
+    config.seed = 29;
+    auto forest = forest::RandomForest::Fit(data, {}, config).MoveValue();
+    Rng rng(31);
+    auto fake = core::Signature::Random(config.num_trees, 0.5, &rng);
+    return new WitnessFixture{std::move(forest), std::move(data), fake.bits()};
+  }();
+  return *fx;
+}
+
+void BM_WitnessValidationScalar(benchmark::State& state) {
+  const WitnessFixture& fx = CachedWitnessFixture();
+  for (auto _ : state) {
+    size_t holds = 0;
+    for (size_t i = 0; i < fx.witnesses.num_rows(); ++i) {
+      // Scalar reference: one full ensemble walk per witness.
+      const std::vector<int> votes = fx.forest.PredictAll(fx.witnesses.Row(i));
+      bool ok = true;
+      for (size_t t = 0; t < votes.size(); ++t) {
+        if (votes[t] != smt::RequiredLabel(+1, fx.signature_bits[t])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++holds;
+    }
+    benchmark::DoNotOptimize(holds);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.witnesses.num_rows()));
+}
+BENCHMARK(BM_WitnessValidationScalar)->Unit(benchmark::kMillisecond);
+
+void BM_WitnessValidationBatched(benchmark::State& state) {
+  const WitnessFixture& fx = CachedWitnessFixture();
+  for (auto _ : state) {
+    const std::vector<uint8_t> holds = smt::ForgerySolver::PatternHoldsBatch(
+        fx.forest, fx.signature_bits, +1, fx.witnesses);
+    benchmark::DoNotOptimize(holds);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.witnesses.num_rows()));
+}
+BENCHMARK(BM_WitnessValidationBatched)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

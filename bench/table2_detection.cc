@@ -54,6 +54,20 @@ int main() {
       std::printf("%-16s %-10s %-18s %13s %13s %13s\n", env.name.c_str(),
                   attacks::TreeStatisticName(stat), stats_buf, c_buf, w_buf, u_buf);
     }
+    // Behavioral extension: per-tree test error (one batched vote-matrix
+    // query), thresholded at the mean like strategy 2.
+    const auto err =
+        attacks::DetectByErrorRate(wm.value().model, env.test, sigma);
+    char err_stats_buf[32];
+    std::snprintf(err_stats_buf, sizeof(err_stats_buf), "(%.3f - %.3f)",
+                  err.mean, err.stddev);
+    char ec_buf[32];
+    char ew_buf[32];
+    std::snprintf(ec_buf, sizeof(ec_buf), "- / %zu", err.num_correct);
+    std::snprintf(ew_buf, sizeof(ew_buf), "- / %zu", err.num_wrong);
+    std::printf("%-16s %-10s %-18s %13s %13s %13s\n", env.name.c_str(),
+                attacks::TreeStatisticName(err.statistic), err_stats_buf, ec_buf,
+                ew_buf, "- / 0");
     bench::PrintRule();
   }
   std::printf("paper: both strategies ineffective — band yields mostly "

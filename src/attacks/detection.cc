@@ -1,6 +1,9 @@
 #include "attacks/detection.h"
 
+#include <span>
+
 #include "common/stats.h"
+#include "predict/vote_matrix.h"
 
 namespace treewm::attacks {
 
@@ -10,14 +13,23 @@ const char* TreeStatisticName(TreeStatistic statistic) {
       return "Depth";
     case TreeStatistic::kLeafCount:
       return "#leaves";
+    case TreeStatistic::kErrorRate:
+      return "error rate";
   }
   return "?";
 }
 
 std::vector<double> MeasureStatistic(const forest::RandomForest& forest,
                                      TreeStatistic statistic) {
-  return statistic == TreeStatistic::kDepth ? forest.TreeDepths()
-                                            : forest.TreeLeafCounts();
+  switch (statistic) {
+    case TreeStatistic::kDepth:
+      return forest.TreeDepths();
+    case TreeStatistic::kLeafCount:
+      return forest.TreeLeafCounts();
+    case TreeStatistic::kErrorRate:
+      break;  // needs a reference dataset — see MeasureErrorRates
+  }
+  return {};
 }
 
 namespace {
@@ -76,6 +88,41 @@ DetectionReport DetectByThreshold(const forest::RandomForest& forest,
     guesses[t] = values[t] <= stats.Mean() ? BitGuess::kZero : BitGuess::kOne;
   }
   return Tally(statistic, values, guesses, true_signature);
+}
+
+std::vector<double> MeasureErrorRates(const forest::RandomForest& forest,
+                                      const data::Dataset& reference) {
+  std::vector<double> rates(forest.num_trees(), 0.0);
+  if (reference.num_rows() == 0) return rates;
+  // One flat-engine query answers every (row, tree) vote; the per-tree error
+  // tally is then a column scan of the matrix.
+  const predict::VoteMatrix votes = forest.PredictAllVotes(reference);
+  std::vector<size_t> errors(forest.num_trees(), 0);
+  for (size_t i = 0; i < reference.num_rows(); ++i) {
+    const std::span<const int8_t> row = votes.row(i);
+    const int8_t label = static_cast<int8_t>(reference.Label(i));
+    for (size_t t = 0; t < rates.size(); ++t) {
+      if (row[t] != label) ++errors[t];
+    }
+  }
+  for (size_t t = 0; t < rates.size(); ++t) {
+    rates[t] = static_cast<double>(errors[t]) /
+               static_cast<double>(reference.num_rows());
+  }
+  return rates;
+}
+
+DetectionReport DetectByErrorRate(const forest::RandomForest& forest,
+                                  const data::Dataset& reference,
+                                  const core::Signature& true_signature) {
+  const std::vector<double> values = MeasureErrorRates(forest, reference);
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  std::vector<BitGuess> guesses(values.size());
+  for (size_t t = 0; t < values.size(); ++t) {
+    guesses[t] = values[t] <= stats.Mean() ? BitGuess::kZero : BitGuess::kOne;
+  }
+  return Tally(TreeStatistic::kErrorRate, values, guesses, true_signature);
 }
 
 Result<core::Signature> GuessesToSignature(const DetectionReport& report,

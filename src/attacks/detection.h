@@ -17,12 +17,15 @@
 
 #include "common/status.h"
 #include "core/signature.h"
+#include "data/dataset.h"
 #include "forest/random_forest.h"
 
 namespace treewm::attacks {
 
-/// Which structural statistic the attacker measures.
-enum class TreeStatistic { kDepth, kLeafCount };
+/// Which per-tree statistic the attacker measures. kDepth/kLeafCount are the
+/// paper's structural statistics; kErrorRate is the behavioral extension
+/// (per-tree error on a reference sample, one batched vote-matrix query).
+enum class TreeStatistic { kDepth, kLeafCount, kErrorRate };
 
 /// "Depth" / "#leaves" (Table 2 row labels).
 const char* TreeStatisticName(TreeStatistic statistic);
@@ -43,7 +46,9 @@ struct DetectionReport {
   size_t num_uncertain = 0;
 };
 
-/// Extracts the chosen statistic per tree.
+/// Extracts the chosen structural statistic per tree. kErrorRate needs a
+/// reference dataset and returns an empty vector here — use
+/// MeasureErrorRates / DetectByErrorRate for the behavioral statistic.
 std::vector<double> MeasureStatistic(const forest::RandomForest& forest,
                                      TreeStatistic statistic);
 
@@ -55,6 +60,20 @@ DetectionReport DetectByBand(const forest::RandomForest& forest,
 /// Strategy 2: sharp threshold at the mean (<= mean -> bit 0).
 DetectionReport DetectByThreshold(const forest::RandomForest& forest,
                                   TreeStatistic statistic,
+                                  const core::Signature& true_signature);
+
+/// Per-tree error rates on `reference`, measured through one batched
+/// vote-matrix query (no per-row PredictAll loop).
+std::vector<double> MeasureErrorRates(const forest::RandomForest& forest,
+                                      const data::Dataset& reference);
+
+/// Behavioral strategy (extension): trees forced to misclassify their
+/// trigger rows (bit 1) tend to show higher error on real data, so threshold
+/// the per-tree error rate at the ensemble mean (<= mean -> bit 0), like
+/// Strategy 2 does for structural statistics. Errors come from a single
+/// batched vote-matrix query over `reference`.
+DetectionReport DetectByErrorRate(const forest::RandomForest& forest,
+                                  const data::Dataset& reference,
                                   const core::Signature& true_signature);
 
 /// Best signature reconstruction the attacker could submit from a report:

@@ -68,6 +68,23 @@ Result<ForgeryAttackReport> RunForgeryAttack(const forest::RandomForest& model,
         break;
     }
   }
+
+  // Re-run Charlie's acceptance test over the whole forged set in row blocks
+  // through the flat engine — one batched query per target label instead of
+  // a scalar PredictAll per witness.
+  for (int label : {data::kPositive, data::kNegative}) {
+    data::Dataset witnesses(model.num_features());
+    for (const ForgedInstance& inst : report.instances) {
+      if (inst.label != label) continue;
+      TREEWM_RETURN_IF_ERROR(witnesses.AddRow(inst.features, label));
+    }
+    if (witnesses.num_rows() == 0) continue;
+    const std::vector<uint8_t> holds = smt::ForgerySolver::PatternHoldsBatch(
+        model, fake_signature.bits(), label, witnesses);
+    for (uint8_t h : holds) {
+      if (h != 0) ++report.revalidated;
+    }
+  }
   return report;
 }
 

@@ -53,6 +53,12 @@ struct ForgeryAttackReport {
   uint64_t total_nodes = 0;
   std::vector<ForgedInstance> instances;
 
+  /// Forged instances that passed the end-of-run batched acceptance test
+  /// (ForgerySolver::PatternHoldsBatch over the whole forged set at once —
+  /// the check Charlie would run before a dispute). Always == forged unless
+  /// the solver reported an invalid witness.
+  size_t revalidated = 0;
+
   /// The attacker's forged trigger set as a Dataset (labels = target y).
   data::Dataset ToDataset(size_t num_features) const;
 };

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/string_util.h"
+#include "predict/vote_matrix.h"
 
 namespace treewm::attacks {
 
@@ -119,6 +120,29 @@ Result<forest::RandomForest> ReplaceRandomTrees(const forest::RandomForest& fore
     trees[victim] = std::move(fresh);
   }
   return forest::RandomForest::FromTrees(std::move(trees));
+}
+
+Result<double> VoteFlipRate(const forest::RandomForest& original,
+                            const forest::RandomForest& modified,
+                            const data::Dataset& dataset) {
+  if (original.num_trees() != modified.num_trees()) {
+    return Status::InvalidArgument("models disagree on number of trees");
+  }
+  if (original.num_features() != modified.num_features() ||
+      dataset.num_features() != original.num_features()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  if (dataset.num_rows() == 0) return 0.0;
+  const predict::VoteMatrix before = original.PredictAllVotes(dataset);
+  const predict::VoteMatrix after = modified.PredictAllVotes(dataset);
+  const size_t total = dataset.num_rows() * original.num_trees();
+  size_t flipped = 0;
+  const int8_t* a = before.data();
+  const int8_t* b = after.data();
+  for (size_t i = 0; i < total; ++i) {
+    if (a[i] != b[i]) ++flipped;
+  }
+  return static_cast<double>(flipped) / static_cast<double>(total);
 }
 
 }  // namespace treewm::attacks

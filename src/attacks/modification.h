@@ -48,6 +48,16 @@ Result<forest::RandomForest> ReplaceRandomTrees(const forest::RandomForest& fore
                                                 const tree::TreeConfig& config,
                                                 Rng* rng);
 
+/// Fraction of (row, tree) votes on `dataset` that differ between two
+/// same-shape models — the attacker's dial: a modification with a low flip
+/// rate preserves fidelity but leaves the watermark bits intact, a high flip
+/// rate destroys evidence along with accuracy. Both models are evaluated
+/// with one batched vote-matrix query each (no per-row PredictAll). Returns
+/// 0 on an empty dataset; error when the models disagree on shape.
+Result<double> VoteFlipRate(const forest::RandomForest& original,
+                            const forest::RandomForest& modified,
+                            const data::Dataset& dataset);
+
 }  // namespace treewm::attacks
 
 #endif  // TREEWM_ATTACKS_MODIFICATION_H_

@@ -1,6 +1,7 @@
 #include "core/multiclass.h"
 
 #include "common/string_util.h"
+#include "predict/vote_matrix.h"
 
 namespace treewm::core {
 
@@ -45,11 +46,46 @@ int MultiClassWatermarkedModel::Predict(std::span<const float> row) const {
   return best_class;
 }
 
+std::vector<int> MultiClassWatermarkedModel::PredictBatch(
+    const MultiClassDataset& dataset) const {
+  const size_t n = dataset.num_rows();
+  std::vector<int> best_class(n, 0);
+  if (n == 0 || per_class.empty()) return best_class;
+
+  // Materialize the features once as a binary dataset (the batch engine
+  // ignores the placeholder labels) and sweep the per-class forests over it.
+  data::Dataset features(dataset.num_features());
+  features.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Status st = features.AddRow(dataset.Row(i), data::kPositive);
+    (void)st;
+  }
+
+  // Argmax with the scalar tie rule: classes ascend, strictly more positive
+  // votes wins, so ties keep the lower class id — bit-exact with Predict.
+  std::vector<int> best_votes(n, -1);
+  for (size_t c = 0; c < per_class.size(); ++c) {
+    const predict::VoteMatrix votes = per_class[c].model.PredictAllVotes(features);
+    for (size_t i = 0; i < n; ++i) {
+      int positive = 0;
+      for (int8_t v : votes.row(i)) {
+        if (v == data::kPositive) ++positive;
+      }
+      if (positive > best_votes[i]) {
+        best_votes[i] = positive;
+        best_class[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return best_class;
+}
+
 double MultiClassWatermarkedModel::Accuracy(const MultiClassDataset& dataset) const {
   if (dataset.num_rows() == 0) return 0.0;
+  const std::vector<int> predictions = PredictBatch(dataset);
   size_t correct = 0;
   for (size_t i = 0; i < dataset.num_rows(); ++i) {
-    if (Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+    if (predictions[i] == dataset.Label(i)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(dataset.num_rows());
 }

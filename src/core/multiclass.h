@@ -51,10 +51,16 @@ struct MultiClassWatermarkedModel {
   std::vector<WatermarkedModel> per_class;
 
   /// Predicted class: argmax over classes of positive votes (ties -> lower
-  /// class id, deterministic).
+  /// class id, deterministic). Scalar per-row reference path.
   int Predict(std::span<const float> row) const;
 
-  /// Accuracy on a multi-class dataset.
+  /// Predicted classes for every row through the batched flat-ensemble
+  /// engine (one vote-matrix query per class instead of one scalar
+  /// PredictAll per row per class). Bit-exact with per-row Predict,
+  /// including the tie rule.
+  std::vector<int> PredictBatch(const MultiClassDataset& dataset) const;
+
+  /// Accuracy on a multi-class dataset (batched engine).
   double Accuracy(const MultiClassDataset& dataset) const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/string_util.h"
 
@@ -13,10 +14,14 @@ namespace {
 /// signature bit `b`: correct when b = 0, flipped when b = 1.
 int RequiredVote(int y, uint8_t b) { return b == 0 ? y : -y; }
 
-/// log10 of a binomial tail P[X >= k], X ~ Binomial(n, p); exact summation
-/// in log space (n is the trigger size — tiny).
+}  // namespace
+
 double Log10BinomialTail(size_t n, size_t k, double p) {
   if (k == 0) return 0.0;
+  // More successes than trials is impossible. Without this guard the
+  // max-shift below dereferences max_element of an empty `terms` vector —
+  // undefined behavior.
+  if (k > n) return -std::numeric_limits<double>::infinity();
   if (p <= 0.0) return -std::numeric_limits<double>::infinity();
   if (p >= 1.0) return 0.0;
   // log10 C(n,i) p^i (1-p)^(n-i), summed via max-shift for stability.
@@ -33,21 +38,29 @@ double Log10BinomialTail(size_t n, size_t k, double p) {
     log10_choose += std::log10(static_cast<double>(n - i)) -
                     std::log10(static_cast<double>(i + 1));
   }
+  if (terms.empty()) return -std::numeric_limits<double>::infinity();
   const double max_term = *std::max_element(terms.begin(), terms.end());
   double sum = 0.0;
   for (double t : terms) sum += std::pow(10.0, t - max_term);
   return max_term + std::log10(sum);
 }
 
-}  // namespace
+predict::VoteMatrix BlackBoxModel::QueryPredictAllVotes(
+    const data::Dataset& batch) const {
+  predict::VoteMatrix out(batch.num_rows(), NumTrees());
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    const std::vector<int> votes = QueryPredictAll(batch.Row(i));
+    int8_t* row = out.mutable_row(i);
+    for (size_t t = 0; t < votes.size() && t < out.num_trees(); ++t) {
+      row[t] = static_cast<int8_t>(votes[t]);
+    }
+  }
+  return out;
+}
 
 std::vector<std::vector<int>> BlackBoxModel::QueryPredictAllBatch(
     const data::Dataset& batch) const {
-  std::vector<std::vector<int>> out(batch.num_rows());
-  for (size_t i = 0; i < batch.num_rows(); ++i) {
-    out[i] = QueryPredictAll(batch.Row(i));
-  }
-  return out;
+  return QueryPredictAllVotes(batch).ToNested();
 }
 
 Result<VerificationReport> VerificationAuthority::Verify(
@@ -92,8 +105,7 @@ Result<VerificationReport> VerificationAuthority::Verify(
     TREEWM_RETURN_IF_ERROR(
         disguised.AddRow(source.Row(row.source_row), data::kPositive));
   }
-  const std::vector<std::vector<int>> all_votes =
-      model.QueryPredictAllBatch(disguised);
+  const predict::VoteMatrix all_votes = model.QueryPredictAllVotes(disguised);
 
   VerificationReport report;
   report.trigger_size = trigger.num_rows();
@@ -104,7 +116,7 @@ Result<VerificationReport> VerificationAuthority::Verify(
   for (size_t b = 0; b < batch.size(); ++b) {
     const BatchRow& row = batch[b];
     const data::Dataset& source = row.is_trigger ? trigger : decoys;
-    const std::vector<int>& votes = all_votes[b];
+    const std::span<const int8_t> votes = all_votes.row(b);
     const int y = source.Label(row.source_row);
     size_t matches = 0;
     for (size_t t = 0; t < m; ++t) {

@@ -16,8 +16,16 @@
 #include "core/signature.h"
 #include "data/dataset.h"
 #include "forest/random_forest.h"
+#include "predict/vote_matrix.h"
 
 namespace treewm::core {
+
+/// log10 of the binomial tail P[X >= k] for X ~ Binomial(n, p), summed
+/// exactly in log space (n is a trigger size — tiny). Conventions:
+/// k == 0 -> 0.0 (certain event); k > n -> -inf (impossible event — more
+/// successes than trials); p <= 0 -> -inf (for k >= 1); p >= 1 -> 0.0.
+/// Exposed for the verification statistics and their regression tests.
+double Log10BinomialTail(size_t n, size_t k, double p);
 
 /// Query-only access to a suspect model: per-tree predictions for one
 /// instance (R's `predict.all` contract). Implementations must not expose
@@ -32,11 +40,16 @@ class BlackBoxModel {
   /// Per-tree prediction sequence for `x`.
   virtual std::vector<int> QueryPredictAll(std::span<const float> x) const = 0;
 
-  /// Per-tree predictions for every row of `batch`; result[i][t] is tree t's
-  /// vote on row i. The protocol submits the whole disguised batch through
-  /// this entry point. The default loops QueryPredictAll row by row;
-  /// implementations backed by a real ensemble override it with the batched
-  /// flat-inference engine.
+  /// Per-tree predictions for every row of `batch` as one flat row-major
+  /// vote matrix. The protocol submits the whole disguised batch through
+  /// this entry point and scores directly off the matrix — no per-row
+  /// vectors. The default loops QueryPredictAll row by row; implementations
+  /// backed by a real ensemble override it with the batched flat-inference
+  /// engine.
+  virtual predict::VoteMatrix QueryPredictAllVotes(const data::Dataset& batch) const;
+
+  /// Legacy nested shape; thin adapter over QueryPredictAllVotes kept for
+  /// callers that still want vector<vector<int>>.
   virtual std::vector<std::vector<int>> QueryPredictAllBatch(
       const data::Dataset& batch) const;
 };
@@ -52,9 +65,9 @@ class ForestBlackBox : public BlackBoxModel {
     return forest_.PredictAll(x);
   }
 
-  std::vector<std::vector<int>> QueryPredictAllBatch(
+  predict::VoteMatrix QueryPredictAllVotes(
       const data::Dataset& batch) const override {
-    return forest_.PredictAllBatch(batch);  // batched flat-ensemble engine
+    return forest_.PredictAllVotes(batch);  // batched flat-ensemble engine
   }
 
  private:

@@ -127,9 +127,13 @@ std::vector<int> RandomForest::PredictBatch(const data::Dataset& dataset) const 
   return predict::BatchPredictor(Flat()).PredictLabels(dataset);
 }
 
+predict::VoteMatrix RandomForest::PredictAllVotes(const data::Dataset& dataset) const {
+  return predict::BatchPredictor(Flat()).PredictAllVotes(dataset);
+}
+
 std::vector<std::vector<int>> RandomForest::PredictAllBatch(
     const data::Dataset& dataset) const {
-  return predict::BatchPredictor(Flat()).PredictAllLabels(dataset);
+  return PredictAllVotes(dataset).ToNested();
 }
 
 double RandomForest::Accuracy(const data::Dataset& dataset) const {

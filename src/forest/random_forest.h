@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "predict/flat_cache.h"
+#include "predict/vote_matrix.h"
 #include "tree/decision_tree.h"
 
 namespace treewm::forest {
@@ -64,8 +65,14 @@ class RandomForest {
   /// Majority-vote labels for every row.
   std::vector<int> PredictBatch(const data::Dataset& dataset) const;
 
+  /// Per-tree predictions for every row as one flat row-major vote matrix —
+  /// the hot-path shape hot consumers (verification scoring, witness
+  /// validation) read in place.
+  predict::VoteMatrix PredictAllVotes(const data::Dataset& dataset) const;
+
   /// Per-tree predictions for every row; result[i][t] is tree t's vote on
-  /// row i.
+  /// row i. Thin compatibility adapter over PredictAllVotes — pays one heap
+  /// row per instance; prefer PredictAllVotes on hot paths.
   std::vector<std::vector<int>> PredictAllBatch(const data::Dataset& dataset) const;
 
   /// Majority-vote accuracy on `dataset`.

@@ -25,6 +25,7 @@
 
 #include "data/dataset.h"
 #include "predict/flat_ensemble.h"
+#include "predict/vote_matrix.h"
 
 namespace treewm::predict {
 
@@ -56,8 +57,14 @@ class BatchPredictor {
   /// Majority-vote labels (±1, ties -> +1) per row. Classification only.
   std::vector<int> PredictLabels(const data::Dataset& dataset) const;
 
-  /// Per-tree votes; result[i][t] is tree t's vote on row i. Classification
-  /// only.
+  /// Per-tree votes as a flat row-major matrix — the hot-path output shape:
+  /// one allocation for the whole batch, votes written straight from the
+  /// traversal staging buffers. Classification only.
+  VoteMatrix PredictAllVotes(const data::Dataset& dataset) const;
+
+  /// Per-tree votes; result[i][t] is tree t's vote on row i. Thin adapter
+  /// over PredictAllVotes for callers that need the legacy nested shape —
+  /// pays one heap row per instance. Classification only.
   std::vector<std::vector<int>> PredictAllLabels(const data::Dataset& dataset) const;
 
   /// Majority-vote accuracy (0.0 on an empty dataset). Classification only.

@@ -163,12 +163,42 @@ Result<ForgeryOutcome> ForgerySolver::Solve(const forest::RandomForest& forest,
 bool ForgerySolver::PatternHolds(const forest::RandomForest& forest,
                                  const std::vector<uint8_t>& signature_bits,
                                  int target_label, std::span<const float> witness) {
-  if (signature_bits.size() != forest.num_trees()) return false;
-  const std::vector<int> votes = forest.PredictAll(witness);
-  for (size_t t = 0; t < votes.size(); ++t) {
-    if (votes[t] != RequiredLabel(target_label, signature_bits[t])) return false;
+  if (witness.size() != forest.num_features()) return false;
+  data::Dataset one(forest.num_features());
+  Status st = one.AddRow(witness, data::kPositive);  // placeholder label
+  if (!st.ok()) return false;
+  const std::vector<uint8_t> holds =
+      PatternHoldsBatch(forest, signature_bits, target_label, one);
+  return holds.size() == 1 && holds[0] != 0;
+}
+
+std::vector<uint8_t> ForgerySolver::PatternHoldsBatch(
+    const forest::RandomForest& forest, const std::vector<uint8_t>& signature_bits,
+    int target_label, const data::Dataset& witnesses) {
+  std::vector<uint8_t> out(witnesses.num_rows(), 0);
+  if (signature_bits.size() != forest.num_trees() ||
+      witnesses.num_features() != forest.num_features() || out.empty()) {
+    return out;
   }
-  return true;
+  // One batched query answers every (witness, tree) vote; the per-row check
+  // is then a linear scan of the matrix row against the required pattern.
+  const predict::VoteMatrix votes = forest.PredictAllVotes(witnesses);
+  std::vector<int8_t> required(signature_bits.size());
+  for (size_t t = 0; t < signature_bits.size(); ++t) {
+    required[t] = static_cast<int8_t>(RequiredLabel(target_label, signature_bits[t]));
+  }
+  for (size_t i = 0; i < witnesses.num_rows(); ++i) {
+    const std::span<const int8_t> row = votes.row(i);
+    bool holds = true;
+    for (size_t t = 0; t < required.size(); ++t) {
+      if (row[t] != required[t]) {
+        holds = false;
+        break;
+      }
+    }
+    out[i] = holds ? 1 : 0;
+  }
+  return out;
 }
 
 }  // namespace treewm::smt

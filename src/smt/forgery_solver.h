@@ -61,10 +61,23 @@ class ForgerySolver {
                                       const ForgeryQuery& query);
 
   /// Checks that `witness` actually induces the required output pattern —
-  /// the acceptance test Charlie would run.
+  /// the acceptance test Charlie would run. Routed through the batched
+  /// flat-engine path (a one-row PatternHoldsBatch); returns false on a
+  /// signature/feature dimensionality mismatch.
   static bool PatternHolds(const forest::RandomForest& forest,
                            const std::vector<uint8_t>& signature_bits,
                            int target_label, std::span<const float> witness);
+
+  /// Batched acceptance test: result[i] != 0 iff row i of `witnesses`
+  /// induces the σ'-required per-tree pattern for `target_label`. All rows
+  /// are validated through one flat-engine vote-matrix query instead of a
+  /// scalar PredictAll per witness — the entry point candidate witnesses and
+  /// solver counterexamples go through in row blocks. A signature-length or
+  /// feature-count mismatch fails every row.
+  static std::vector<uint8_t> PatternHoldsBatch(
+      const forest::RandomForest& forest,
+      const std::vector<uint8_t>& signature_bits, int target_label,
+      const data::Dataset& witnesses);
 };
 
 }  // namespace treewm::smt

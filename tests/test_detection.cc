@@ -89,6 +89,52 @@ TEST(GuessesToSignatureTest, FillsUncertainBits) {
   EXPECT_FALSE(GuessesToSignature(report, 2).ok());
 }
 
+TEST(MeasureErrorRatesTest, CountsPerTreeDisagreementsFromOneBatchedQuery) {
+  // A forest of two constant trees: the all-+1 tree errs exactly on the
+  // negative rows, the all--1 tree exactly on the positive rows.
+  auto plus = DecisionTree::FromNodes({TreeNode{-1, 0, -1, -1, +1}}, 2).MoveValue();
+  auto minus = DecisionTree::FromNodes({TreeNode{-1, 0, -1, -1, -1}}, 2).MoveValue();
+  auto forest = forest::RandomForest::FromTrees({plus, minus}).MoveValue();
+  data::Dataset reference(2);
+  ASSERT_TRUE(reference.AddRow(std::vector<float>{0.1f, 0.1f}, +1).ok());
+  ASSERT_TRUE(reference.AddRow(std::vector<float>{0.2f, 0.2f}, +1).ok());
+  ASSERT_TRUE(reference.AddRow(std::vector<float>{0.3f, 0.3f}, +1).ok());
+  ASSERT_TRUE(reference.AddRow(std::vector<float>{0.9f, 0.9f}, -1).ok());
+  const auto rates = MeasureErrorRates(forest, reference);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.25);  // +1 tree misses the one negative row
+  EXPECT_DOUBLE_EQ(rates[1], 0.75);  // -1 tree misses the three positive rows
+
+  data::Dataset empty(2);
+  const auto zero = MeasureErrorRates(forest, empty);
+  EXPECT_EQ(zero, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(DetectByErrorRateTest, ThresholdsAtTheMeanLikeStrategy2) {
+  auto plus = DecisionTree::FromNodes({TreeNode{-1, 0, -1, -1, +1}}, 2).MoveValue();
+  auto minus = DecisionTree::FromNodes({TreeNode{-1, 0, -1, -1, -1}}, 2).MoveValue();
+  auto forest = forest::RandomForest::FromTrees({plus, minus}).MoveValue();
+  data::Dataset reference(2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        reference.AddRow(std::vector<float>{0.1f * static_cast<float>(i), 0.1f}, +1)
+            .ok());
+  }
+  ASSERT_TRUE(reference.AddRow(std::vector<float>{0.9f, 0.9f}, -1).ok());
+  // Error rates 0.25 / 0.75, mean 0.5: tree 0 -> bit 0, tree 1 -> bit 1.
+  auto truth = core::Signature::FromBits({0, 1}).MoveValue();
+  const auto report = DetectByErrorRate(forest, reference, truth);
+  EXPECT_EQ(report.statistic, TreeStatistic::kErrorRate);
+  EXPECT_STREQ(TreeStatisticName(report.statistic), "error rate");
+  ASSERT_EQ(report.guesses.size(), 2u);
+  EXPECT_EQ(report.guesses[0], BitGuess::kZero);
+  EXPECT_EQ(report.guesses[1], BitGuess::kOne);
+  EXPECT_EQ(report.num_correct, 2u);
+  EXPECT_EQ(report.num_wrong, 0u);
+  EXPECT_EQ(report.num_uncertain, 0u);
+  EXPECT_DOUBLE_EQ(report.mean, 0.5);
+}
+
 TEST(DetectionOnRealWatermarkTest, AttackFailsAgainstAdjustedModel) {
   // The paper's security claim (§4.2.1): with Adjust(H) the attacker cannot
   // reconstruct σ. Accept the attack as "failed" when the threshold strategy

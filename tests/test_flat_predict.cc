@@ -118,6 +118,73 @@ TEST(FlatEquivalenceTest, ThreadCountsAndTilingsNeverChangeResults) {
   }
 }
 
+// The VoteMatrix must agree entry-for-entry with the nested adapter (and
+// hence the scalar reference) on every thread count and tiling, and the
+// adapter itself must be a pure reshape of the matrix.
+TEST(VoteMatrixTest, MatrixMatchesNestedAdapterAcrossThreadsAndTilings) {
+  auto forest = MakeForest(33, 11, 217, 6);
+  auto probe = data::synthetic::MakeBlobs(34, 217, 6, 0.8);
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  const auto expected = reference::PredictAllBatch(forest, probe);
+  VoteMatrix first;
+  bool have_first = false;
+  for (size_t threads : {1u, 2u, 5u}) {
+    for (size_t row_block : {1u, 7u, 64u, 1000u}) {
+      for (size_t tree_block : {1u, 3u, 100u}) {
+        BatchOptions options;
+        options.num_threads = threads;
+        options.row_block = row_block;
+        options.tree_block = tree_block;
+        BatchPredictor predictor(flat, options);
+        const VoteMatrix votes = predictor.PredictAllVotes(probe);
+        ASSERT_EQ(votes.num_rows(), probe.num_rows());
+        ASSERT_EQ(votes.num_trees(), forest.num_trees());
+        EXPECT_EQ(votes.ToNested(), expected)
+            << threads << "/" << row_block << "/" << tree_block;
+        for (size_t r = 0; r < votes.num_rows(); ++r) {
+          for (size_t t = 0; t < votes.num_trees(); ++t) {
+            ASSERT_EQ(static_cast<int>(votes.vote(r, t)), expected[r][t])
+                << "row " << r << " tree " << t;
+          }
+        }
+        // Schedule independence: every configuration yields the same matrix.
+        if (!have_first) {
+          first = votes;
+          have_first = true;
+        } else {
+          EXPECT_TRUE(votes == first);
+        }
+      }
+    }
+  }
+}
+
+TEST(VoteMatrixTest, MajorityLabelMatchesForestTieRule) {
+  auto forest = MakeForest(36, 8, 150, 5);  // even tree count: ties possible
+  auto probe = data::synthetic::MakeBlobs(37, 90, 5, 0.7);
+  const VoteMatrix votes = forest.PredictAllVotes(probe);
+  const auto labels = reference::PredictBatch(forest, probe);
+  for (size_t r = 0; r < probe.num_rows(); ++r) {
+    EXPECT_EQ(votes.MajorityLabel(r), labels[r]) << "row " << r;
+  }
+}
+
+TEST(VoteMatrixTest, EmptyAndSingleRowShapes) {
+  auto forest = MakeForest(38, 4, 80, 3);
+  data::Dataset empty(3);
+  const VoteMatrix none = forest.PredictAllVotes(empty);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.num_rows(), 0u);
+  EXPECT_EQ(none.num_trees(), 4u);
+  EXPECT_TRUE(none.ToNested().empty());
+
+  data::Dataset one(3);
+  ASSERT_TRUE(one.AddRow(std::vector<float>{0.1f, 0.9f, 0.4f}, +1).ok());
+  const VoteMatrix single = forest.PredictAllVotes(one);
+  ASSERT_EQ(single.num_rows(), 1u);
+  EXPECT_EQ(single.ToNested(), reference::PredictAllBatch(forest, one));
+}
+
 TEST(FlatEquivalenceTest, SingleLeafTreesAndMixedDepths) {
   // Forest mixing root-only leaves with a real tree: exercises negative root
   // entries and idle lanes in the 4-way walk.

@@ -156,6 +156,60 @@ TEST(PatternHoldsTest, ChecksEveryTree) {
   EXPECT_FALSE(ForgerySolver::PatternHolds(ensemble, {1, 1}, +1, x));
   EXPECT_TRUE(ForgerySolver::PatternHolds(ensemble, {1, 0}, -1, x));  // mirrored
   EXPECT_FALSE(ForgerySolver::PatternHolds(ensemble, {1}, +1, x));  // bad length
+  EXPECT_FALSE(
+      ForgerySolver::PatternHolds(ensemble, {0, 1}, +1, {x.data(), 2}));  // bad d
+}
+
+TEST(PatternHoldsBatchTest, ValidatesRowBlocksLikeTheScalarCheck) {
+  auto ensemble = PaperFigure1Ensemble();
+  data::Dataset witnesses(3);
+  ASSERT_TRUE(witnesses.AddRow(std::vector<float>{4.0f, 3.0f, 5.0f}, +1).ok());
+  ASSERT_TRUE(witnesses.AddRow(std::vector<float>{9.0f, 9.0f, 9.0f}, +1).ok());
+  ASSERT_TRUE(witnesses.AddRow(std::vector<float>{1.0f, 1.0f, 1.0f}, +1).ok());
+  const std::vector<uint8_t> holds =
+      ForgerySolver::PatternHoldsBatch(ensemble, {0, 1}, +1, witnesses);
+  ASSERT_EQ(holds.size(), witnesses.num_rows());
+  for (size_t i = 0; i < witnesses.num_rows(); ++i) {
+    EXPECT_EQ(holds[i] != 0,
+              ForgerySolver::PatternHolds(ensemble, {0, 1}, +1, witnesses.Row(i)))
+        << "row " << i;
+  }
+  EXPECT_EQ(holds[0], 1);  // the paper's hand solution
+
+  // Shape mismatches fail every row instead of reading out of bounds.
+  const auto bad_sig =
+      ForgerySolver::PatternHoldsBatch(ensemble, {0}, +1, witnesses);
+  EXPECT_EQ(bad_sig, std::vector<uint8_t>(witnesses.num_rows(), 0));
+  data::Dataset bad_features(2);
+  ASSERT_TRUE(bad_features.AddRow(std::vector<float>{4.0f, 3.0f}, +1).ok());
+  const auto bad_d =
+      ForgerySolver::PatternHoldsBatch(ensemble, {0, 1}, +1, bad_features);
+  EXPECT_EQ(bad_d, std::vector<uint8_t>{0});
+
+  data::Dataset empty(3);
+  EXPECT_TRUE(
+      ForgerySolver::PatternHoldsBatch(ensemble, {0, 1}, +1, empty).empty());
+}
+
+TEST(PatternHoldsBatchTest, AgreesWithScalarOnTrainedModelSweep) {
+  auto data = data::synthetic::MakeBlobs(23, 200, 5, 1.0);
+  forest::ForestConfig config;
+  config.num_trees = 9;
+  config.seed = 6;
+  auto model = forest::RandomForest::Fit(data, {}, config).MoveValue();
+  Rng rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto fake = core::Signature::Random(9, 0.5, &rng);
+    const int label = trial % 2 == 0 ? +1 : -1;
+    const std::vector<uint8_t> holds =
+        ForgerySolver::PatternHoldsBatch(model, fake.bits(), label, data);
+    ASSERT_EQ(holds.size(), data.num_rows());
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      ASSERT_EQ(holds[i] != 0, ForgerySolver::PatternHolds(model, fake.bits(),
+                                                           label, data.Row(i)))
+          << "trial " << trial << " row " << i;
+    }
+  }
 }
 
 /// Property sweep on trained models: whenever the solver reports SAT the

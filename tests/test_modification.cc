@@ -171,5 +171,48 @@ TEST(ReplaceRandomTreesTest, ValidatesInputs) {
   EXPECT_FALSE(ReplaceRandomTrees(fx.wm.model, 0.5, wrong, config, &rng).ok());
 }
 
+TEST(VoteFlipRateTest, MeasuresBehaviouralDamageThroughVoteMatrices) {
+  Fixture fx = MakeFixture(140);
+  // Identity: a model never disagrees with itself.
+  EXPECT_DOUBLE_EQ(VoteFlipRate(fx.wm.model, fx.wm.model, fx.test).MoveValue(),
+                   0.0);
+
+  // Untouched-model sanity: pruning to a generous depth flips nothing.
+  auto identity = PruneToDepth(fx.wm.model, 1000).MoveValue();
+  EXPECT_DOUBLE_EQ(VoteFlipRate(fx.wm.model, identity, fx.test).MoveValue(), 0.0);
+
+  // Heavier tampering flips strictly more votes than light tampering.
+  Rng light_rng(9);
+  auto light = RelabelRandomLeaves(fx.wm.model, 0.05, &light_rng).MoveValue();
+  Rng heavy_rng(9);
+  auto heavy = RelabelRandomLeaves(fx.wm.model, 0.80, &heavy_rng).MoveValue();
+  const double light_rate = VoteFlipRate(fx.wm.model, light, fx.test).MoveValue();
+  const double heavy_rate = VoteFlipRate(fx.wm.model, heavy, fx.test).MoveValue();
+  EXPECT_GE(light_rate, 0.0);
+  EXPECT_LE(heavy_rate, 1.0);
+  EXPECT_GT(heavy_rate, light_rate);
+  EXPECT_GT(heavy_rate, 0.2);
+
+  // Agreement with the scalar per-row comparison.
+  size_t flipped = 0;
+  for (size_t i = 0; i < fx.test.num_rows(); ++i) {
+    const auto before = fx.wm.model.PredictAll(fx.test.Row(i));
+    const auto after = heavy.PredictAll(fx.test.Row(i));
+    for (size_t t = 0; t < before.size(); ++t) {
+      if (before[t] != after[t]) ++flipped;
+    }
+  }
+  EXPECT_DOUBLE_EQ(heavy_rate,
+                   static_cast<double>(flipped) /
+                       static_cast<double>(fx.test.num_rows() *
+                                           fx.wm.model.num_trees()));
+
+  // Shape validation and the empty-dataset convention.
+  data::Dataset empty(fx.test.num_features());
+  EXPECT_DOUBLE_EQ(VoteFlipRate(fx.wm.model, heavy, empty).MoveValue(), 0.0);
+  data::Dataset wrong(3);
+  EXPECT_FALSE(VoteFlipRate(fx.wm.model, heavy, wrong).ok());
+}
+
 }  // namespace
 }  // namespace treewm::attacks

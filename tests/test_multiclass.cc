@@ -92,6 +92,43 @@ TEST(MultiClassWatermarkerTest, RequiresOneSignaturePerClass) {
   EXPECT_FALSE(watermarker.CreateWatermark(train, two).ok());
 }
 
+TEST(MultiClassModelTest, BatchedPredictionsAreBitExactWithScalarLoop) {
+  // Regression for the last scalar batch path: Accuracy used to run the
+  // per-row Predict loop PR 1 removed everywhere else. The batched engine
+  // must agree row-for-row with the scalar reference, including the argmax
+  // tie rule (lower class id wins).
+  MultiClassDataset train = ThreeBlobs(12, 50);
+  MultiClassDataset test = ThreeBlobs(13, 40);
+  WatermarkConfig config;
+  config.seed = 14;
+  config.grid.max_depth_grid = {4, -1};
+  config.grid.num_folds = 2;
+  config.trigger_size = 4;
+  config.trigger_training.forest.feature_fraction = 1.0;
+  Rng rng(15);
+  std::vector<Signature> signatures;
+  for (int c = 0; c < 3; ++c) signatures.push_back(Signature::Random(8, 0.5, &rng));
+  MultiClassWatermarker watermarker(config);
+  auto model = watermarker.CreateWatermark(train, signatures).MoveValue();
+
+  const std::vector<int> batched = model.PredictBatch(test);
+  ASSERT_EQ(batched.size(), test.num_rows());
+  size_t scalar_correct = 0;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    const int scalar = model.Predict(test.Row(i));
+    ASSERT_EQ(batched[i], scalar) << "row " << i;
+    if (scalar == test.Label(i)) ++scalar_correct;
+  }
+  const double scalar_accuracy = static_cast<double>(scalar_correct) /
+                                 static_cast<double>(test.num_rows());
+  EXPECT_DOUBLE_EQ(model.Accuracy(test), scalar_accuracy);
+
+  // Empty dataset convention.
+  MultiClassDataset empty(2, 3);
+  EXPECT_TRUE(model.PredictBatch(empty).empty());
+  EXPECT_DOUBLE_EQ(model.Accuracy(empty), 0.0);
+}
+
 TEST(MultiClassModelTest, PredictTieBreaksDeterministically) {
   MultiClassWatermarkedModel model;
   // No classes: degenerate, but Predict must not crash on per_class empty —

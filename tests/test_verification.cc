@@ -2,6 +2,9 @@
 
 #include "core/verification.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/watermark.h"
@@ -37,6 +40,41 @@ Fixture MakeFixture(uint64_t seed) {
   innocent_config.feature_fraction = 0.7;
   auto innocent = forest::RandomForest::Fit(tt.train, {}, innocent_config).MoveValue();
   return Fixture{std::move(wm), std::move(tt.test), std::move(innocent)};
+}
+
+TEST(Log10BinomialTailTest, KZeroIsCertainAndKAboveNIsImpossible) {
+  EXPECT_DOUBLE_EQ(Log10BinomialTail(10, 0, 0.3), 0.0);
+  // Regression: k > n used to dereference max_element of an empty terms
+  // vector (UB). The impossible event must report log10 P = -inf.
+  EXPECT_EQ(Log10BinomialTail(10, 11, 0.3),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Log10BinomialTail(0, 1, 0.5),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Log10BinomialTail(5, 100, 0.99),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Log10BinomialTailTest, DegenerateProbabilities) {
+  EXPECT_EQ(Log10BinomialTail(10, 3, 0.0),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(Log10BinomialTail(10, 3, 1.0), 0.0);
+}
+
+TEST(Log10BinomialTailTest, MatchesDirectSummation) {
+  // P[X >= 2], X ~ Binomial(3, 0.5) = (3 + 1) / 8.
+  EXPECT_NEAR(Log10BinomialTail(3, 2, 0.5), std::log10(4.0 / 8.0), 1e-12);
+  // P[X >= n] = p^n.
+  EXPECT_NEAR(Log10BinomialTail(6, 6, 0.25), 6.0 * std::log10(0.25), 1e-12);
+  // Full tail P[X >= 1] = 1 - (1-p)^n.
+  EXPECT_NEAR(Log10BinomialTail(4, 1, 0.2),
+              std::log10(1.0 - std::pow(0.8, 4.0)), 1e-12);
+  // Tail probabilities are monotone decreasing in k.
+  double previous = 0.0;
+  for (size_t k = 1; k <= 20; ++k) {
+    const double tail = Log10BinomialTail(20, k, 0.4);
+    EXPECT_LE(tail, previous) << "k=" << k;
+    previous = tail;
+  }
 }
 
 TEST(VerificationTest, WatermarkedModelVerifies) {
@@ -108,6 +146,75 @@ TEST(VerificationTest, ValidatesInputs) {
   VerificationRequest bad_features{fx.wm.signature, fx.wm.trigger_set,
                                    data::Dataset(3)};
   EXPECT_FALSE(VerificationAuthority::Verify(suspect, bad_features, &rng).ok());
+}
+
+TEST(VerificationTest, EmptyDecoySetFallsBackToCoinFlipControlRate) {
+  // With no decoys there are no control bits; the control match rate must
+  // fall back to the documented 0.5 null rather than divide by zero, and a
+  // genuine watermark still verifies.
+  Fixture fx = MakeFixture(700);
+  data::Dataset no_decoys(fx.test.num_features());
+  VerificationRequest request{fx.wm.signature, fx.wm.trigger_set, no_decoys};
+  ForestBlackBox suspect(fx.wm.model);
+  Rng rng(6);
+  auto report = VerificationAuthority::Verify(suspect, request, &rng).MoveValue();
+  EXPECT_DOUBLE_EQ(report.control_match_rate, 0.5);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.matching_instances, report.trigger_size);
+  EXPECT_TRUE(std::isfinite(report.log10_p_value));
+  EXPECT_TRUE(std::isfinite(report.log10_bit_p_value));
+}
+
+TEST(VerificationTest, SingleInstanceTriggerVerifies) {
+  Fixture fx = MakeFixture(800);
+  ASSERT_GE(fx.wm.trigger_set.num_rows(), 1u);
+  data::Dataset single = fx.wm.trigger_set.Subset({0});
+  VerificationRequest request{fx.wm.signature, single, fx.test};
+  ForestBlackBox suspect(fx.wm.model);
+  Rng rng(7);
+  auto report = VerificationAuthority::Verify(suspect, request, &rng).MoveValue();
+  EXPECT_EQ(report.trigger_size, 1u);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.matching_instances, 1u);
+  EXPECT_DOUBLE_EQ(report.bit_match_rate, 1.0);
+  // One instance cannot be conclusive at the full-pattern level by itself,
+  // but the statistics must stay well defined.
+  EXPECT_LE(report.log10_p_value, 0.0);
+  EXPECT_TRUE(std::isfinite(report.log10_p_value));
+}
+
+TEST(VerificationTest, DefaultVoteMatrixPathMatchesBatchedOverride) {
+  // A black box that only implements the scalar QueryPredictAll must produce
+  // the same report as the flat-engine override: the default
+  // QueryPredictAllVotes loop and the batched path are interchangeable.
+  Fixture fx = MakeFixture(900);
+
+  class ScalarOnlyModel : public BlackBoxModel {
+   public:
+    explicit ScalarOnlyModel(const forest::RandomForest& forest)
+        : forest_(forest) {}
+    size_t NumTrees() const override { return forest_.num_trees(); }
+    std::vector<int> QueryPredictAll(std::span<const float> x) const override {
+      return forest_.PredictAll(x);
+    }
+
+   private:
+    const forest::RandomForest& forest_;
+  };
+
+  VerificationRequest request{fx.wm.signature, fx.wm.trigger_set, fx.test};
+  ScalarOnlyModel scalar(fx.wm.model);
+  ForestBlackBox batched(fx.wm.model);
+  Rng rng_a(13);
+  Rng rng_b(13);  // identical shuffle
+  auto a = VerificationAuthority::Verify(scalar, request, &rng_a).MoveValue();
+  auto b = VerificationAuthority::Verify(batched, request, &rng_b).MoveValue();
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_EQ(a.matching_instances, b.matching_instances);
+  EXPECT_DOUBLE_EQ(a.bit_match_rate, b.bit_match_rate);
+  EXPECT_DOUBLE_EQ(a.control_match_rate, b.control_match_rate);
+  EXPECT_DOUBLE_EQ(a.log10_p_value, b.log10_p_value);
+  EXPECT_DOUBLE_EQ(a.log10_bit_p_value, b.log10_bit_p_value);
 }
 
 TEST(VerificationTest, PartialTamperingLowersMatches) {
