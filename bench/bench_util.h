@@ -9,7 +9,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,6 +19,7 @@
 #include "data/dataset.h"
 #include "data/sampling.h"
 #include "data/synthetic.h"
+#include "forest/random_forest.h"
 
 namespace treewm::bench {
 
@@ -93,6 +96,38 @@ inline forest::RandomForest StandardReference(const BenchEnv& env,
   config.seed = seed;
   config.feature_fraction = scale.feature_fraction;
   return forest::RandomForest::Fit(env.train, {}, config).MoveValue();
+}
+
+/// A deterministic blobs-dataset + trained-forest fixture. The micro
+/// benches (micro_predict, micro_sat) used to carry private copies of this
+/// exact construction; it lives here so every harness builds fixtures the
+/// same way and new benches don't grow a third copy.
+struct ForestFixture {
+  data::Dataset data;
+  forest::RandomForest forest;
+};
+
+/// Returns the cached fixture for (data_seed, rows, features, spread) blobs
+/// and a num_trees forest seeded with forest_seed — built once per process
+/// and shared across benchmarks, so repetitions never re-train.
+inline const ForestFixture& CachedForestFixture(uint64_t data_seed, size_t rows,
+                                                size_t features, double spread,
+                                                size_t num_trees,
+                                                uint64_t forest_seed) {
+  using Key = std::tuple<uint64_t, size_t, size_t, double, size_t, uint64_t>;
+  static auto* cache = new std::map<Key, ForestFixture>();
+  const Key key{data_seed, rows, features, spread, num_trees, forest_seed};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto data = data::synthetic::MakeBlobs(data_seed, rows, features, spread);
+    forest::ForestConfig config;
+    config.num_trees = num_trees;
+    config.seed = forest_seed;
+    auto forest = forest::RandomForest::Fit(data, {}, config).MoveValue();
+    it = cache->emplace(key, ForestFixture{std::move(data), std::move(forest)})
+             .first;
+  }
+  return it->second;
 }
 
 /// Prints a horizontal rule sized to typical harness tables.

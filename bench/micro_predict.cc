@@ -1,47 +1,83 @@
 // Micro-benchmarks: inference throughput (single tree, forest majority vote,
 // per-tree predict-all as used by black-box verification), including the
-// flat-engine vs scalar-reference comparison that gates the batched
-// inference work: BM_*Flat must stay well ahead of its BM_*Scalar twin on
-// the 32-tree, 4000×20 fixture.
+// kernel comparison matrix that gates the batched inference work: on the
+// 32-tree, 4000×20 fixture the forced-FloatKey and forced-quantized paths
+// are measured against each other and against the retained scalar
+// reference in the same run (BM_*FloatKey / BM_*Quantized / BM_*Scalar).
+// Feature cardinality is varied so both bin widths run: the default blobs
+// fixture quantizes to uint16 rows, the coarse-grid fixture (features
+// snapped to a small value grid before training) to uint8 rows — each
+// benchmark's label reports the width actually selected.
 //
 // Machine-readable output convention (see bench/README.md):
 //   ./micro_predict --benchmark_out=BENCH_predict.json --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
-#include <map>
+#include <cmath>
 
+#include "bench_util.h"
+#include "boosting/gbdt.h"
 #include "data/synthetic.h"
 #include "forest/random_forest.h"
 #include "predict/batch_predictor.h"
+#include "predict/quantized_ensemble.h"
 #include "predict/reference.h"
 
 namespace {
 
 using namespace treewm;
 
-struct Fixture {
-  data::Dataset data;
-  forest::RandomForest forest;
-};
+const bench::ForestFixture& CachedFixture(size_t num_trees) {
+  return bench::CachedForestFixture(11, 4000, 20, 1.2, num_trees, 3);
+}
 
-const Fixture& CachedFixture(size_t num_trees) {
-  static auto* cache = new std::map<size_t, Fixture>();
-  auto it = cache->find(num_trees);
-  if (it == cache->end()) {
+/// The same shape with every feature snapped to a coarse value grid before
+/// training, so each feature carries far fewer distinct thresholds and the
+/// ensemble quantizes to uint8 rows.
+const bench::ForestFixture& CachedCoarseFixture() {
+  static auto* fx = [] {
     auto data = data::synthetic::MakeBlobs(11, 4000, 20, 1.2);
+    data::Dataset coarse(data.num_features());
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      std::vector<float> row(data.Row(r).begin(), data.Row(r).end());
+      for (float& x : row) x = std::round(x * 4.0f) / 4.0f;
+      (void)coarse.AddRow(row, data.Label(r));
+    }
     forest::ForestConfig config;
-    config.num_trees = num_trees;
+    config.num_trees = 32;
     config.seed = 3;
-    auto forest = forest::RandomForest::Fit(data, {}, config).MoveValue();
-    it = cache->emplace(num_trees, Fixture{std::move(data), std::move(forest)})
-             .first;
+    auto forest = forest::RandomForest::Fit(coarse, {}, config).MoveValue();
+    return new bench::ForestFixture{std::move(coarse), std::move(forest)};
+  }();
+  return *fx;
+}
+
+/// Prebuilt predictor with a forced kernel — the serving-loop configuration
+/// both kernel benchmarks use so the comparison is traversal-only.
+predict::BatchPredictor ForcedPredictor(const forest::RandomForest& forest,
+                                        predict::PredictKernel kernel) {
+  predict::BatchOptions options;
+  options.kernel = kernel;
+  return predict::BatchPredictor(
+      predict::FlatEnsemble::FromClassificationTrees(forest.trees()), options);
+}
+
+/// Tags the benchmark with the bin width the dispatcher actually selected,
+/// so BENCH_predict.json records which kernel shape ran.
+void LabelKernel(benchmark::State& state, const predict::BatchPredictor& p) {
+  if (p.ChosenKernel() != predict::PredictKernel::kQuantized) {
+    state.SetLabel("floatkey");
+    return;
   }
-  return it->second;
+  const auto q = p.ensemble().Quantized();
+  state.SetLabel(q->bin_width() == predict::QuantizedEnsemble::BinWidth::kU8
+                     ? "quantized/u8"
+                     : "quantized/u16");
 }
 
 void BM_TreePredict(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(8);
+  const bench::ForestFixture& fx = CachedFixture(8);
   const auto& tree = fx.forest.trees()[0];
   size_t i = 0;
   for (auto _ : state) {
@@ -53,7 +89,7 @@ void BM_TreePredict(benchmark::State& state) {
 BENCHMARK(BM_TreePredict);
 
 void BM_ForestPredict(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(static_cast<size_t>(state.range(0)));
+  const bench::ForestFixture& fx = CachedFixture(static_cast<size_t>(state.range(0)));
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(fx.forest.Predict(fx.data.Row(i)));
@@ -64,7 +100,7 @@ void BM_ForestPredict(benchmark::State& state) {
 BENCHMARK(BM_ForestPredict)->Arg(8)->Arg(32)->Arg(80);
 
 void BM_ForestPredictAll(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(static_cast<size_t>(state.range(0)));
+  const bench::ForestFixture& fx = CachedFixture(static_cast<size_t>(state.range(0)));
   size_t i = 0;
   for (auto _ : state) {
     auto votes = fx.forest.PredictAll(fx.data.Row(i));
@@ -75,10 +111,10 @@ void BM_ForestPredictAll(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredictAll)->Arg(8)->Arg(32)->Arg(80);
 
-// --- flat engine vs retained scalar reference (the acceptance gate) --------
+// --- kernels vs the retained scalar reference (the acceptance gate) --------
 
 void BM_ForestAccuracyScalar(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(32);
+  const bench::ForestFixture& fx = CachedFixture(32);
   for (auto _ : state) {
     benchmark::DoNotOptimize(predict::reference::Accuracy(fx.forest, fx.data));
   }
@@ -87,18 +123,72 @@ void BM_ForestAccuracyScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestAccuracyScalar)->Unit(benchmark::kMillisecond);
 
+// Model entry point: auto kernel dispatch, lazy shared flat image — what
+// every production call site actually runs.
 void BM_ForestAccuracyFlat(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(32);
+  const bench::ForestFixture& fx = CachedFixture(32);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fx.forest.Accuracy(fx.data));  // flat engine
+    benchmark::DoNotOptimize(fx.forest.Accuracy(fx.data));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(fx.data.num_rows()));
 }
 BENCHMARK(BM_ForestAccuracyFlat)->Unit(benchmark::kMillisecond);
 
+void BM_ForestAccuracyFloatKey(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedPredictor(fx.forest, predict::PredictKernel::kFloatKey);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.LabelAccuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_ForestAccuracyFloatKey)->Unit(benchmark::kMillisecond);
+
+void BM_ForestAccuracyQuantized(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedPredictor(fx.forest, predict::PredictKernel::kQuantized);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.LabelAccuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_ForestAccuracyQuantized)->Unit(benchmark::kMillisecond);
+
+// The uint8-bin shape: same geometry, coarse feature grid (fewer distinct
+// thresholds per feature), paired FloatKey run on the identical fixture.
+void BM_ForestAccuracyFloatKeyU8(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedCoarseFixture();
+  auto predictor = ForcedPredictor(fx.forest, predict::PredictKernel::kFloatKey);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.LabelAccuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_ForestAccuracyFloatKeyU8)->Unit(benchmark::kMillisecond);
+
+void BM_ForestAccuracyQuantizedU8(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedCoarseFixture();
+  auto predictor = ForcedPredictor(fx.forest, predict::PredictKernel::kQuantized);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.LabelAccuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_ForestAccuracyQuantizedU8)->Unit(benchmark::kMillisecond);
+
+// --- the predict.all votes path --------------------------------------------
+
 void BM_PredictAllBatchScalar(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(32);
+  const bench::ForestFixture& fx = CachedFixture(32);
   for (auto _ : state) {
     auto votes = predict::reference::PredictAllBatch(fx.forest, fx.data);
     benchmark::DoNotOptimize(votes);
@@ -109,9 +199,9 @@ void BM_PredictAllBatchScalar(benchmark::State& state) {
 BENCHMARK(BM_PredictAllBatchScalar)->Unit(benchmark::kMillisecond);
 
 void BM_PredictAllBatchFlat(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(32);
+  const bench::ForestFixture& fx = CachedFixture(32);
   for (auto _ : state) {
-    auto votes = fx.forest.PredictAllBatch(fx.data);  // flat engine
+    auto votes = fx.forest.PredictAllBatch(fx.data);  // nested adapter
     benchmark::DoNotOptimize(votes);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -119,11 +209,10 @@ void BM_PredictAllBatchFlat(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictAllBatchFlat)->Unit(benchmark::kMillisecond);
 
-// The flat vote-matrix output shape: same traversal as PredictAllBatchFlat
-// minus the vector<vector<int>> materialization (one contiguous allocation
-// for the whole batch). Expected within ~10% of BM_ForestAccuracyFlat.
+// The flat vote-matrix output shape through the model entry point (auto
+// kernel): one contiguous allocation for the whole batch.
 void BM_PredictAllVotesFlat(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(32);
+  const bench::ForestFixture& fx = CachedFixture(32);
   for (auto _ : state) {
     auto votes = fx.forest.PredictAllVotes(fx.data);  // VoteMatrix path
     benchmark::DoNotOptimize(votes);
@@ -133,10 +222,110 @@ void BM_PredictAllVotesFlat(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictAllVotesFlat)->Unit(benchmark::kMillisecond);
 
+void BM_PredictAllVotesFloatKey(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedPredictor(fx.forest, predict::PredictKernel::kFloatKey);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    auto votes = predictor.PredictAllVotes(fx.data);
+    benchmark::DoNotOptimize(votes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_PredictAllVotesFloatKey)->Unit(benchmark::kMillisecond);
+
+void BM_PredictAllVotesQuantized(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedPredictor(fx.forest, predict::PredictKernel::kQuantized);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    auto votes = predictor.PredictAllVotes(fx.data);
+    benchmark::DoNotOptimize(votes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_PredictAllVotesQuantized)->Unit(benchmark::kMillisecond);
+
+// --- GBDT regression paths (double leaf values, staged curve) --------------
+
+const boosting::Gbdt& CachedGbdt() {
+  static auto* model = [] {
+    const bench::ForestFixture& fx = CachedFixture(32);
+    boosting::GbdtConfig config;
+    config.num_trees = 100;
+    return new boosting::Gbdt(boosting::Gbdt::Fit(fx.data, config).MoveValue());
+  }();
+  return *model;
+}
+
+predict::BatchPredictor ForcedGbdtPredictor(predict::PredictKernel kernel) {
+  const boosting::Gbdt& model = CachedGbdt();
+  predict::BatchOptions options;
+  options.kernel = kernel;
+  return predict::BatchPredictor(
+      predict::FlatEnsemble::FromRegressionTrees(
+          model.trees(), model.initial_score(), model.learning_rate()),
+      options);
+}
+
+void BM_GbdtAccuracyFloatKey(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedGbdtPredictor(predict::PredictKernel::kFloatKey);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.ScoreAccuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_GbdtAccuracyFloatKey)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtAccuracyQuantized(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedGbdtPredictor(predict::PredictKernel::kQuantized);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.ScoreAccuracy(fx.data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_GbdtAccuracyQuantized)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtStagedCurveFloatKey(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedGbdtPredictor(predict::PredictKernel::kFloatKey);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    auto curve = predictor.StagedAccuracyCurve(fx.data);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_GbdtStagedCurveFloatKey)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtStagedCurveQuantized(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  auto predictor = ForcedGbdtPredictor(predict::PredictKernel::kQuantized);
+  LabelKernel(state, predictor);
+  for (auto _ : state) {
+    auto curve = predictor.StagedAccuracyCurve(fx.data);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_rows()));
+}
+BENCHMARK(BM_GbdtStagedCurveQuantized)->Unit(benchmark::kMillisecond);
+
+// --- image construction costs ----------------------------------------------
+
 // Reusing a prebuilt predictor strips the per-call FlatEnsemble rebuild —
 // the serving-loop configuration.
 void BM_ForestAccuracyFlatPrebuilt(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(32);
+  const bench::ForestFixture& fx = CachedFixture(32);
   predict::BatchPredictor predictor(
       predict::FlatEnsemble::FromClassificationTrees(fx.forest.trees()));
   for (auto _ : state) {
@@ -150,7 +339,7 @@ BENCHMARK(BM_ForestAccuracyFlatPrebuilt)->Unit(benchmark::kMillisecond);
 // Cost of packing the ensemble into the SoA arena (paid once per batch call
 // in the model-class entry points).
 void BM_FlatEnsembleBuild(benchmark::State& state) {
-  const Fixture& fx = CachedFixture(32);
+  const bench::ForestFixture& fx = CachedFixture(32);
   for (auto _ : state) {
     auto flat = predict::FlatEnsemble::FromClassificationTrees(fx.forest.trees());
     benchmark::DoNotOptimize(flat);
@@ -158,6 +347,19 @@ void BM_FlatEnsembleBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlatEnsembleBuild);
+
+// Cost of the binning pass on top of a flat image (paid once per model,
+// cached alongside it).
+void BM_QuantizedEnsembleBuild(benchmark::State& state) {
+  const bench::ForestFixture& fx = CachedFixture(32);
+  const auto flat = predict::FlatEnsemble::FromClassificationTrees(fx.forest.trees());
+  for (auto _ : state) {
+    auto q = predict::QuantizedEnsemble::Build(flat);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantizedEnsembleBuild);
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/signature.h"
 #include "data/synthetic.h"
@@ -83,21 +84,19 @@ BENCHMARK(BM_Pigeonhole)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
 // (smt::ForgerySolver::PatternHoldsBatch).
 
 struct WitnessFixture {
-  forest::RandomForest forest;
-  data::Dataset witnesses;
+  const bench::ForestFixture& model;  ///< shared blobs + forest fixture
   std::vector<uint8_t> signature_bits;
+
+  const forest::RandomForest& forest() const { return model.forest; }
+  const data::Dataset& witnesses() const { return model.data; }
 };
 
 const WitnessFixture& CachedWitnessFixture() {
   static auto* fx = [] {
-    auto data = data::synthetic::MakeBlobs(17, 2000, 20, 1.2);
-    forest::ForestConfig config;
-    config.num_trees = 32;
-    config.seed = 29;
-    auto forest = forest::RandomForest::Fit(data, {}, config).MoveValue();
+    const auto& model = bench::CachedForestFixture(17, 2000, 20, 1.2, 32, 29);
     Rng rng(31);
-    auto fake = core::Signature::Random(config.num_trees, 0.5, &rng);
-    return new WitnessFixture{std::move(forest), std::move(data), fake.bits()};
+    auto fake = core::Signature::Random(model.forest.num_trees(), 0.5, &rng);
+    return new WitnessFixture{model, fake.bits()};
   }();
   return *fx;
 }
@@ -106,9 +105,9 @@ void BM_WitnessValidationScalar(benchmark::State& state) {
   const WitnessFixture& fx = CachedWitnessFixture();
   for (auto _ : state) {
     size_t holds = 0;
-    for (size_t i = 0; i < fx.witnesses.num_rows(); ++i) {
+    for (size_t i = 0; i < fx.witnesses().num_rows(); ++i) {
       // Scalar reference: one full ensemble walk per witness.
-      const std::vector<int> votes = fx.forest.PredictAll(fx.witnesses.Row(i));
+      const std::vector<int> votes = fx.forest().PredictAll(fx.witnesses().Row(i));
       bool ok = true;
       for (size_t t = 0; t < votes.size(); ++t) {
         if (votes[t] != smt::RequiredLabel(+1, fx.signature_bits[t])) {
@@ -121,7 +120,7 @@ void BM_WitnessValidationScalar(benchmark::State& state) {
     benchmark::DoNotOptimize(holds);
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(fx.witnesses.num_rows()));
+                          static_cast<int64_t>(fx.witnesses().num_rows()));
 }
 BENCHMARK(BM_WitnessValidationScalar)->Unit(benchmark::kMillisecond);
 
@@ -129,11 +128,11 @@ void BM_WitnessValidationBatched(benchmark::State& state) {
   const WitnessFixture& fx = CachedWitnessFixture();
   for (auto _ : state) {
     const std::vector<uint8_t> holds = smt::ForgerySolver::PatternHoldsBatch(
-        fx.forest, fx.signature_bits, +1, fx.witnesses);
+        fx.forest(), fx.signature_bits, +1, fx.witnesses());
     benchmark::DoNotOptimize(holds);
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(fx.witnesses.num_rows()));
+                          static_cast<int64_t>(fx.witnesses().num_rows()));
 }
 BENCHMARK(BM_WitnessValidationBatched)->Unit(benchmark::kMillisecond);
 

@@ -100,7 +100,9 @@ class RandomForest {
 
   /// Packed inference image, built lazily on the first batch call and shared
   /// across calls (and copies) — trees_ is immutable after construction, so
-  /// the cache can never go stale.
+  /// the cache can never go stale. The image in turn caches its quantized
+  /// sibling, so per-call kernel dispatch (see batch_predictor.h) never
+  /// rebuilds either.
   std::shared_ptr<const predict::FlatEnsemble> Flat() const;
 
   std::vector<tree::DecisionTree> trees_;

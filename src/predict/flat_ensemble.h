@@ -33,25 +33,32 @@
 #define TREEWM_PREDICT_FLAT_ENSEMBLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "boosting/regression_tree.h"
+#include "predict/flat_cache.h"
 #include "tree/decision_tree.h"
 
 namespace treewm::predict {
 
+class QuantizedEnsemble;
+
 /// Order-preserving integer image of a float: for all non-NaN a, b (with
 /// -0.0 first normalized to +0.0), a <= b iff FloatKey(a) <= FloatKey(b) as
-/// uint32. Positive NaNs map above +inf, so a NaN feature takes the right
-/// child exactly like the scalar paths' `!(x <= v)`; sign-bit NaN payloads
-/// (never produced by any treewm data path) would map low and diverge.
-/// Comparing keys instead of floats keeps the traversal step an integer
-/// cmp+cmov chain.
+/// uint32. Every NaN — either sign bit, any payload — is first normalized
+/// to the canonical quiet NaN, so all NaNs map above +inf and a NaN feature
+/// takes the right child exactly like the scalar paths' `!(x <= v)` (a raw
+/// sign-bit NaN would otherwise map low and diverge). Comparing keys
+/// instead of floats keeps the traversal step an integer cmp+cmov chain;
+/// the quantized row transform bins the same keys, so both kernels share
+/// one NaN rule.
 inline uint32_t FloatKey(float f) {
   uint32_t bits;
   static_assert(sizeof(bits) == sizeof(f));
   __builtin_memcpy(&bits, &f, sizeof(bits));
+  bits = (bits & 0x7FFFFFFFu) > 0x7F800000u ? 0x7FC00000u : bits;  // NaN
   bits = bits == 0x80000000u ? 0u : bits;  // -0.0 == +0.0 must map equal
   return bits ^ (static_cast<uint32_t>(static_cast<int32_t>(bits) >> 31) |
                  0x80000000u);
@@ -115,6 +122,11 @@ class FlatEnsemble {
   const int8_t* leaf_labels() const { return leaf_labels_.data(); }
   const double* leaf_values() const { return leaf_values_.data(); }
 
+  /// The quantized sibling image, built lazily on first use and cached (one
+  /// acquire-load per hit; copies of this ensemble share it). Always
+  /// non-null — check `eligible()` on the result before traversing it.
+  std::shared_ptr<const QuantizedEnsemble> Quantized() const;
+
  private:
   FlatEnsemble() = default;
 
@@ -132,6 +144,9 @@ class FlatEnsemble {
   bool is_regression_ = false;
   double initial_score_ = 0.0;
   double learning_rate_ = 0.0;
+  /// Lazily built quantized image (self-contained — owns copies of the leaf
+  /// arrays, so sharing it across ensemble copies can never dangle).
+  mutable ImageCacheSlot<QuantizedEnsemble> quantized_cache_;
 };
 
 }  // namespace treewm::predict

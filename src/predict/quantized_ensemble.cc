@@ -1,0 +1,170 @@
+#include "predict/quantized_ensemble.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <type_traits>
+
+#include "predict/flat_ensemble.h"
+
+namespace treewm::predict {
+
+namespace {
+
+/// Per-tree arena geometry recovered from the flat image. PackTree appends
+/// each tree's internal nodes (and leaves) contiguously in root order and
+/// the root is always its tree's first packed record, so tree t's internal
+/// range is [root(t)/32, next internal root/32) and — every source tree
+/// being a full binary tree — its leaf count is internal count + 1.
+struct TreeRanges {
+  std::vector<int64_t> node_base;  ///< flat arena index of first record
+  std::vector<int64_t> node_count;
+  std::vector<int64_t> leaf_base;  ///< payload index of first leaf
+};
+
+TreeRanges RecoverRanges(const FlatEnsemble& flat) {
+  const size_t num_trees = flat.num_trees();
+  TreeRanges r;
+  r.node_base.resize(num_trees);
+  r.node_count.resize(num_trees);
+  r.leaf_base.resize(num_trees);
+  int64_t end = static_cast<int64_t>(flat.num_internal_nodes());
+  for (size_t t = num_trees; t-- > 0;) {
+    const int64_t root = flat.root(t);
+    if (root >= 0) {
+      r.node_base[t] = root / static_cast<int64_t>(sizeof(FlatNode));
+      r.node_count[t] = end - r.node_base[t];
+      end = r.node_base[t];
+    } else {
+      r.node_base[t] = end;
+      r.node_count[t] = 0;
+    }
+  }
+  int64_t leaves = 0;
+  for (size_t t = 0; t < num_trees; ++t) {
+    r.leaf_base[t] = leaves;
+    leaves += r.node_count[t] + 1;  // full binary tree
+  }
+  assert(leaves == static_cast<int64_t>(flat.num_leaves()));
+  return r;
+}
+
+/// Remaps one flat child entry (byte-scaled arena offset or ~global-leaf)
+/// into the tree-local encoding: a byte offset pre-scaled for `node_size`
+/// records, or ~local-leaf (unscaled).
+int64_t LocalChild(int64_t flat_child, int64_t node_base, int64_t leaf_base,
+                   int64_t node_size) {
+  if (flat_child >= 0) {
+    return (flat_child / static_cast<int64_t>(sizeof(FlatNode)) - node_base) *
+           node_size;
+  }
+  return ~(~flat_child - leaf_base);
+}
+
+template <typename Node>
+void FillArena(const FlatEnsemble& flat, const TreeRanges& ranges,
+               const std::vector<uint32_t>& cut_keys,
+               const std::vector<uint32_t>& cut_begin, std::vector<Node>* out) {
+  out->resize(flat.num_internal_nodes());
+  for (size_t t = 0; t < flat.num_trees(); ++t) {
+    const int64_t base = ranges.node_base[t];
+    for (int64_t i = 0; i < ranges.node_count[t]; ++i) {
+      const FlatNode& src = flat.nodes()[base + i];
+      const uint32_t f = static_cast<uint32_t>(src.feature());
+      const uint32_t* cuts = cut_keys.data() + cut_begin[f];
+      const uint32_t n = cut_begin[f + 1] - cut_begin[f];
+      // The threshold is one of the cuts by construction, so its bin id is
+      // its exact index in the feature's cut array.
+      const uint32_t bin = internal::LowerBoundIdx(cuts, n, src.threshold_key());
+      assert(bin < n && cuts[bin] == src.threshold_key());
+      using ChildT = std::remove_extent_t<decltype(Node::child)>;
+      Node& dst = (*out)[base + i];
+      dst.feature = static_cast<uint16_t>(f);
+      dst.bin = static_cast<uint16_t>(bin);
+      dst.child[0] = static_cast<ChildT>(
+          LocalChild(src.child[0], base, ranges.leaf_base[t], sizeof(Node)));
+      dst.child[1] = static_cast<ChildT>(
+          LocalChild(src.child[1], base, ranges.leaf_base[t], sizeof(Node)));
+    }
+  }
+}
+
+}  // namespace
+
+QuantizedEnsemble QuantizedEnsemble::Build(const FlatEnsemble& flat) {
+  QuantizedEnsemble out;
+  out.num_features_ = flat.num_features();
+  out.is_regression_ = flat.is_regression();
+  out.initial_score_ = flat.initial_score();
+  out.learning_rate_ = flat.learning_rate();
+
+  // The node record stores the feature as u16.
+  if (flat.num_features() > std::numeric_limits<uint16_t>::max()) return out;
+
+  // Binning pass: per-feature sorted distinct threshold keys.
+  const size_t d = flat.num_features();
+  std::vector<std::vector<uint32_t>> per_feature(d);
+  for (size_t i = 0; i < flat.num_internal_nodes(); ++i) {
+    const FlatNode& n = flat.nodes()[i];
+    per_feature[static_cast<uint32_t>(n.feature())].push_back(n.threshold_key());
+  }
+  out.cut_begin_.resize(d + 1, 0);
+  size_t max_cuts = 0;
+  for (size_t f = 0; f < d; ++f) {
+    auto& cuts = per_feature[f];
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    max_cuts = std::max(max_cuts, cuts.size());
+    out.cut_begin_[f + 1] = out.cut_begin_[f] + static_cast<uint32_t>(cuts.size());
+  }
+  out.max_cuts_ = max_cuts;
+  // bin(x) ranges over [0, cuts], so the cut COUNT itself must fit the bin
+  // type: <= 255 distinct thresholds quantizes to uint8 rows, <= 65535 to
+  // uint16; beyond that this ensemble stays on the FloatKey kernel.
+  if (max_cuts > 65535) return out;
+  out.bin_width_ = max_cuts <= 255 ? BinWidth::kU8 : BinWidth::kU16;
+  out.cut_keys_.reserve(out.cut_begin_[d]);
+  for (size_t f = 0; f < d; ++f) {
+    out.cut_keys_.insert(out.cut_keys_.end(), per_feature[f].begin(),
+                         per_feature[f].end());
+  }
+
+  // Tree geometry + child width: i16 children hold pre-scaled byte offsets
+  // (index × 8 <= 32767 => up to 4095 internal nodes per tree; the ~leaf
+  // encoding then fits too, leaves = nodes + 1 <= 4096 <= 32768).
+  const TreeRanges ranges = RecoverRanges(flat);
+  int64_t max_tree_nodes = 0;
+  for (int64_t c : ranges.node_count) max_tree_nodes = std::max(max_tree_nodes, c);
+  const bool narrow = max_tree_nodes <= 4095;
+  out.child_width_ = narrow ? ChildWidth::kI16 : ChildWidth::kI32;
+  if (narrow) {
+    FillArena(flat, ranges, out.cut_keys_, out.cut_begin_, &out.nodes16_);
+  } else {
+    FillArena(flat, ranges, out.cut_keys_, out.cut_begin_, &out.nodes32_);
+  }
+
+  const size_t num_trees = flat.num_trees();
+  out.tree_node_base_.resize(num_trees);
+  out.tree_leaf_base_.resize(num_trees);
+  out.roots_.resize(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    out.tree_node_base_[t] = static_cast<int32_t>(ranges.node_base[t]);
+    out.tree_leaf_base_[t] = static_cast<int32_t>(ranges.leaf_base[t]);
+    const int64_t root = flat.root(t);
+    out.roots_[t] = root >= 0
+                        ? 0  // the root is always its tree's first record
+                        : static_cast<int32_t>(~(~root - ranges.leaf_base[t]));
+  }
+
+  // Self-contained payload copies: the quantized image may be shared across
+  // copies of the flat ensemble, so it must not point into flat's arrays.
+  if (flat.is_regression()) {
+    out.leaf_values_.assign(flat.leaf_values(), flat.leaf_values() + flat.num_leaves());
+  } else {
+    out.leaf_labels_.assign(flat.leaf_labels(), flat.leaf_labels() + flat.num_leaves());
+  }
+  out.eligible_ = true;
+  return out;
+}
+
+}  // namespace treewm::predict

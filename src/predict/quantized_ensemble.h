@@ -1,0 +1,226 @@
+// Quantized-threshold inference image — LightGBM-style binned node records.
+//
+// The FloatKey kernel (flat_ensemble.h) pays 32 bytes per node and 4 bytes
+// per (row, feature). Almost all of that width is threshold precision the
+// traversal does not need: a node only ever compares its threshold against
+// feature values, and the ensemble uses a *finite* set of thresholds per
+// feature. QuantizedEnsemble exploits that: a binning pass collects the
+// distinct training thresholds of every feature (as FloatKey images, sorted
+// ascending — the per-feature "cut" array) and replaces
+//
+//   x_f <= v                 with      bin_f(x) <= bin_id_f(v)
+//
+// where bin_id_f(v) is v's index in feature f's cut array and bin_f(x) is
+// the number of cuts strictly below FloatKey(x) (a lower-bound index).
+// Because every bin boundary sits exactly at a training threshold, the two
+// comparisons are equivalent for every float x — including NaNs, which bin
+// above every cut exactly like the scalar `!(x <= v)` rule — so quantized
+// predictions are bit-identical to the scalar reference, not approximately
+// equal (tests/test_quantized_predict.cc proves this property-style).
+//
+// The payoff is record width: a node shrinks to
+//
+//   { feature : u16, bin : u16, child[2] : i16 }   = 8 bytes   (QNode16)
+//   { feature : u16, bin : u16, child[2] : i32 }   = 16 bytes  (QNode32)
+//
+// and a transformed row block shrinks from 4 bytes to 1-2 bytes per feature
+// (uint8 bins when every feature has <= 255 cuts, uint16 up to 65535 cuts;
+// beyond that the ensemble is ineligible and dispatch stays on the FloatKey
+// kernel). A 32-tree forest whose flat arena is ~400 KB fits its quantized
+// arena in ~100 KB.
+//
+// Measured outcome on the bench host (see bench/README.md): the quantized
+// traversal reaches parity with the FloatKey kernel — the 6-lane
+// refill-on-leaf walk already hides the L1/L2 latency the smaller arena
+// targets — while the binning transform, although batched into lockstep
+// branchless searches, stays ~3-4x the cost of the FloatKey transform's
+// single xor per value. Net: quantized runs 0-45% slower end-to-end across
+// the fixture shapes (parity at best, on uint8 bins), so kernel dispatch
+// keeps FloatKey as the default and this
+// kernel is opt-in (TREEWM_PREDICT_KERNEL=quantized or
+// BatchOptions::kernel) — the working-set headroom matters only beyond
+// what that host's caches can show, e.g. SIMD gather traversal reading
+// 8-16 bins per vector.
+//
+// Children are *tree-local*, pre-scaled BYTE offsets (child node index ×
+// record size): every tree's records are contiguous in the arena, so a
+// traversal keeps one base pointer per tree and an int64 byte cursor —
+// like the FlatNode kernel, no shift and no sign-extend lands in the
+// step's dependency chain (the i16/i32 children sign-extend at load time,
+// off the chain). child < 0 encodes a leaf as ~(tree-local leaf index),
+// unscaled; per-tree leaf bases map local indices back into the shared SoA
+// payload arrays (±1 labels / double leaf values, identical copies of the
+// flat image's arrays so the quantized image is self-contained and never
+// dangles into a moved-from ensemble). QNode16 is used when every tree
+// fits the i16 byte-offset range (<= 4095 internal nodes, and leaves'
+// ~local-index >= -32768); QNode32 (padded to 16 bytes so offsets stay
+// 16-byte-scaled) covers everything else.
+
+#ifndef TREEWM_PREDICT_QUANTIZED_ENSEMBLE_H_
+#define TREEWM_PREDICT_QUANTIZED_ENSEMBLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "predict/flat_ensemble.h"
+
+namespace treewm::predict {
+
+/// 8-byte binned node: one aligned quadword holds feature, bin and both
+/// children. Children are tree-local pre-scaled byte offsets (index × 8);
+/// < 0 is ~local-leaf, unscaled.
+struct QNode16 {
+  uint16_t feature;
+  uint16_t bin;
+  int16_t child[2];
+};
+static_assert(sizeof(QNode16) == 8);
+
+/// Wide variant for trees whose byte offsets or leaf counts overflow i16.
+/// Padded to 16 bytes so child offsets stay index × 16 (a power of two).
+struct alignas(16) QNode32 {
+  uint16_t feature;
+  uint16_t bin;
+  int32_t child[2];
+};
+static_assert(sizeof(QNode32) == 16);
+
+/// An immutable quantized image of a FlatEnsemble, built lazily by
+/// FlatEnsemble::Quantized() and cached alongside it.
+class QuantizedEnsemble {
+ public:
+  enum class BinWidth : uint8_t { kU8, kU16 };
+  enum class ChildWidth : uint8_t { kI16, kI32 };
+
+  /// Builds the quantized image of `flat`. Always returns an object: when
+  /// the ensemble exceeds the bin-width limits (> 65535 distinct thresholds
+  /// on some feature, or > 65535 features) the result has
+  /// `eligible() == false` and empty arenas, and kernel dispatch falls back
+  /// to the FloatKey kernel.
+  static QuantizedEnsemble Build(const FlatEnsemble& flat);
+
+  bool eligible() const { return eligible_; }
+  BinWidth bin_width() const { return bin_width_; }
+  ChildWidth child_width() const { return child_width_; }
+
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_features() const { return num_features_; }
+  bool is_regression() const { return is_regression_; }
+  double initial_score() const { return initial_score_; }
+  double learning_rate() const { return learning_rate_; }
+
+  /// Distinct training thresholds of feature f (0 when f is never split on).
+  size_t num_cuts(size_t f) const { return cut_begin_[f + 1] - cut_begin_[f]; }
+  /// Largest per-feature cut count — what selected the bin width.
+  size_t max_cuts() const { return max_cuts_; }
+
+  /// Node arenas: exactly one is non-empty (per child_width()) unless the
+  /// ensemble is all leaves.
+  const QNode16* nodes16() const { return nodes16_.data(); }
+  const QNode32* nodes32() const { return nodes32_.data(); }
+  /// Arena index of tree t's first record.
+  int32_t tree_node_base(size_t t) const { return tree_node_base_[t]; }
+  /// Payload index of tree t's first leaf.
+  int32_t tree_leaf_base(size_t t) const { return tree_leaf_base_[t]; }
+  /// Entry of tree t: >= 0 is a tree-local byte offset (always 0 for trees
+  /// with internal nodes), < 0 encodes a single-leaf tree as ~local-leaf.
+  int32_t root(size_t t) const { return roots_[t]; }
+  const int8_t* leaf_labels() const { return leaf_labels_.data(); }
+  const double* leaf_values() const { return leaf_values_.data(); }
+
+  /// Transforms a block of `num_rows` contiguous rows (row-major, `stride`
+  /// floats per row) into bin space: out[r * out_stride + f] = number of
+  /// feature-f cuts strictly below FloatKey(x) — a lower-bound index, so
+  /// for every node `bin(x) <= node.bin` iff `x <= threshold` under the
+  /// scalar rule. `out_stride >= stride` lets the caller reserve trailing
+  /// entries per row (the batch kernel stores the row id there). Runs
+  /// column-major in 64-row tiles: one feature's cut array stays
+  /// L1-resident for the whole pass, every search in a tile takes the same
+  /// fixed number of branchless steps (the step schedule depends only on
+  /// the cut count), and the tile's 64 independent search chains pipeline —
+  /// a naive per-row std::lower_bound measured ~5 ms on the 4000×20 micro
+  /// fixture, worse than the whole FloatKey batch.
+  template <typename BinT>
+  void BinBlock(const float* rows, size_t stride, size_t num_rows, BinT* out,
+                size_t out_stride) const;
+
+ private:
+  QuantizedEnsemble() = default;
+
+  std::vector<QNode16> nodes16_;
+  std::vector<QNode32> nodes32_;
+  std::vector<int32_t> tree_node_base_;
+  std::vector<int32_t> tree_leaf_base_;
+  std::vector<int32_t> roots_;
+  std::vector<uint32_t> cut_keys_;   ///< ascending FloatKeys, per feature
+  std::vector<uint32_t> cut_begin_;  ///< num_features + 1 offsets into cut_keys_
+  std::vector<int8_t> leaf_labels_;
+  std::vector<double> leaf_values_;
+  size_t num_features_ = 0;
+  size_t max_cuts_ = 0;
+  bool is_regression_ = false;
+  bool eligible_ = false;
+  BinWidth bin_width_ = BinWidth::kU8;
+  ChildWidth child_width_ = ChildWidth::kI16;
+  double initial_score_ = 0.0;
+  double learning_rate_ = 0.0;
+};
+
+namespace internal {
+/// Branchless ("monobound") lower bound over `n` ascending keys: number of
+/// entries < key. The length trajectory depends only on n — never on the
+/// data — which is what lets BinBlock run many searches in lockstep.
+inline uint32_t LowerBoundIdx(const uint32_t* a, uint32_t n, uint32_t key) {
+  if (n == 0) return 0;
+  const uint32_t* base = a;
+  for (uint32_t len = n; len > 1; len -= len >> 1) {
+    const uint32_t half = len >> 1;
+    base += base[half - 1] < key ? half : 0;  // cmov
+  }
+  return static_cast<uint32_t>(base - a) + (*base < key ? 1 : 0);
+}
+}  // namespace internal
+
+template <typename BinT>
+void QuantizedEnsemble::BinBlock(const float* rows, size_t stride,
+                                 size_t num_rows, BinT* out,
+                                 size_t out_stride) const {
+  constexpr size_t kTile = 64;
+  uint32_t keys[kTile];
+  uint32_t pos[kTile];
+  for (size_t f = 0; f < num_features_; ++f) {
+    const uint32_t* cuts = cut_keys_.data() + cut_begin_[f];
+    const uint32_t n = cut_begin_[f + 1] - cut_begin_[f];
+    if (n == 0) {  // never split on: every value bins to 0
+      for (size_t r = 0; r < num_rows; ++r) out[r * out_stride + f] = 0;
+      continue;
+    }
+    for (size_t r0 = 0; r0 < num_rows; r0 += kTile) {
+      const size_t count = num_rows - r0 < kTile ? num_rows - r0 : kTile;
+      for (size_t i = 0; i < count; ++i) {
+        keys[i] = FloatKey(rows[(r0 + i) * stride + f]);
+        pos[i] = 0;
+      }
+      // All `count` searches share the same length schedule, so the inner
+      // loop is `count` independent load->cmp->cmov chains per step — the
+      // same latency-hiding trick the traversal lanes use. The bool
+      // multiply (not a ternary on a pointer) is what makes gcc emit cmov
+      // instead of a 50%-mispredicting branch.
+      for (uint32_t len = n; len > 1; len -= len >> 1) {
+        const uint32_t half = len >> 1;
+        for (size_t i = 0; i < count; ++i) {
+          pos[i] += (cuts[pos[i] + half - 1] < keys[i]) * half;
+        }
+      }
+      for (size_t i = 0; i < count; ++i) {
+        out[(r0 + i) * out_stride + f] = static_cast<BinT>(
+            pos[i] + (cuts[pos[i]] < keys[i] ? 1 : 0));
+      }
+    }
+  }
+}
+
+}  // namespace treewm::predict
+
+#endif  // TREEWM_PREDICT_QUANTIZED_ENSEMBLE_H_

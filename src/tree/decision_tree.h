@@ -123,7 +123,9 @@ class DecisionTree {
 
   /// Packed one-tree inference image, built lazily on the first batch call
   /// and shared across calls (and copies) — nodes_ is immutable after
-  /// construction, so the cache can never go stale.
+  /// construction, so the cache can never go stale. The image in turn
+  /// caches its quantized sibling, so per-call kernel dispatch (see
+  /// batch_predictor.h) never rebuilds either.
   std::shared_ptr<const predict::FlatEnsemble> Flat() const;
 
   std::vector<TreeNode> nodes_;

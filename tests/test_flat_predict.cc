@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -43,6 +45,22 @@ TEST(FloatKeyTest, PreservesFloatOrdering) {
     }
   }
   EXPECT_EQ(FloatKey(-0.0f), FloatKey(0.0f));
+}
+
+TEST(FloatKeyTest, EveryNanNormalizesAboveInfinity) {
+  // All NaN payloads — sign bit set or not, quiet or signaling — must map to
+  // ONE key above +inf, so both kernels route NaN features right exactly
+  // like the scalar `!(x <= v)` rule (sign-bit NaNs previously mapped low).
+  const uint32_t nan_bits[] = {0x7FC00000u, 0x7F800001u, 0x7FFFFFFFu,
+                               0xFFC00000u, 0xFF800001u, 0xFFFFFFFFu};
+  const uint32_t canonical = FloatKey(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_GT(canonical, FloatKey(std::numeric_limits<float>::infinity()));
+  for (uint32_t bits : nan_bits) {
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    ASSERT_TRUE(std::isnan(f));
+    EXPECT_EQ(FloatKey(f), canonical) << std::hex << bits;
+  }
 }
 
 TEST(FlatEnsembleTest, PacksForestStructure) {

@@ -1,0 +1,421 @@
+// Property tests for the quantized-threshold kernel (quantized_ensemble.h):
+// bin boundaries sit exactly at training thresholds, so on every covered
+// configuration the quantized kernel must be BIT-EXACT with the scalar
+// reference loops — the same contract the FloatKey kernel carries — across
+// randomized models, duplicate/near-duplicate thresholds, all-leaf trees,
+// empty datasets, thread counts, both bin widths, both child widths, and
+// the >65535-distinct-thresholds fallback to the FloatKey kernel.
+
+#include "predict/quantized_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "boosting/gbdt.h"
+#include "data/synthetic.h"
+#include "forest/random_forest.h"
+#include "predict/batch_predictor.h"
+#include "predict/flat_ensemble.h"
+#include "predict/reference.h"
+#include "tree/decision_tree.h"
+
+namespace treewm::predict {
+namespace {
+
+forest::RandomForest MakeForest(uint64_t seed, size_t num_trees, size_t rows,
+                                size_t features, int max_depth = -1) {
+  auto d = data::synthetic::MakeBlobs(seed, rows, features, 1.0);
+  forest::ForestConfig config;
+  config.num_trees = num_trees;
+  config.seed = seed;
+  config.tree.max_depth = max_depth;
+  return forest::RandomForest::Fit(d, {}, config).MoveValue();
+}
+
+BatchOptions ForceKernel(PredictKernel kernel, size_t threads = 1) {
+  BatchOptions options;
+  options.kernel = kernel;
+  options.num_threads = threads;
+  return options;
+}
+
+/// Appends a complete binary tree of the given depth splitting only on
+/// `feature`, consuming one distinct integer threshold per internal node
+/// from *next_threshold. Leaves alternate +1/-1.
+int AppendComplete(std::vector<tree::TreeNode>* nodes, int depth,
+                   int feature, int* next_threshold, int* leaf_parity) {
+  const int index = static_cast<int>(nodes->size());
+  if (depth == 0) {
+    const int label = (*leaf_parity)++ % 2 == 0 ? +1 : -1;
+    nodes->push_back(tree::TreeNode{-1, 0.0f, -1, -1, label});
+    return index;
+  }
+  nodes->push_back(tree::TreeNode{feature,
+                                  static_cast<float>((*next_threshold)++),
+                                  -1, -1, 0});
+  (*nodes)[index].left = AppendComplete(nodes, depth - 1, feature,
+                                        next_threshold, leaf_parity);
+  (*nodes)[index].right = AppendComplete(nodes, depth - 1, feature,
+                                         next_threshold, leaf_parity);
+  return index;
+}
+
+tree::DecisionTree CompleteTree(int depth, int feature, int* next_threshold,
+                                size_t num_features) {
+  std::vector<tree::TreeNode> nodes;
+  int parity = 0;
+  AppendComplete(&nodes, depth, feature, next_threshold, &parity);
+  return tree::DecisionTree::FromNodes(std::move(nodes), num_features).MoveValue();
+}
+
+/// Probe rows sweeping across the integer threshold range, deliberately
+/// including exact thresholds (the x == v boundary the <= rule hinges on).
+data::Dataset IntegerProbe(size_t num_features, int lo, int hi, int step) {
+  data::Dataset d(num_features);
+  for (int v = lo; v <= hi; v += step) {
+    std::vector<float> on_boundary(num_features, static_cast<float>(v));
+    std::vector<float> between(num_features, static_cast<float>(v) + 0.5f);
+    EXPECT_TRUE(d.AddRow(on_boundary, +1).ok());
+    EXPECT_TRUE(d.AddRow(between, -1).ok());
+  }
+  return d;
+}
+
+TEST(QuantizedBuildTest, SelectsU8WidthUpTo255Cuts) {
+  int next = 0;
+  auto t = CompleteTree(8, 0, &next, 2);  // 255 internal nodes, 255 cuts
+  auto forest = forest::RandomForest::FromTrees({t}).MoveValue();
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  const auto q = flat.Quantized();
+  ASSERT_TRUE(q->eligible());
+  EXPECT_EQ(q->bin_width(), QuantizedEnsemble::BinWidth::kU8);
+  EXPECT_EQ(q->child_width(), QuantizedEnsemble::ChildWidth::kI16);
+  EXPECT_EQ(q->num_cuts(0), 255u);
+  EXPECT_EQ(q->num_cuts(1), 0u);  // never split on -> every row bins to 0
+
+  auto probe = IntegerProbe(2, -1, 256, 3);
+  BatchPredictor predictor(flat, ForceKernel(PredictKernel::kQuantized));
+  EXPECT_EQ(predictor.ChosenKernel(), PredictKernel::kQuantized);
+  EXPECT_EQ(predictor.PredictLabels(probe), reference::PredictBatch(forest, probe));
+}
+
+TEST(QuantizedBuildTest, SelectsU16WidthAbove255Cuts) {
+  int next = 0;
+  auto big = CompleteTree(8, 0, &next, 2);  // 255 cuts on feature 0
+  auto one = tree::DecisionTree::FromNodes(
+                 {tree::TreeNode{0, 300.5f, 1, 2, 0},
+                  tree::TreeNode{-1, 0, -1, -1, +1},
+                  tree::TreeNode{-1, 0, -1, -1, -1}},
+                 2)
+                 .MoveValue();  // a 256th distinct cut
+  auto forest = forest::RandomForest::FromTrees({big, one}).MoveValue();
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  const auto q = flat.Quantized();
+  ASSERT_TRUE(q->eligible());
+  EXPECT_EQ(q->bin_width(), QuantizedEnsemble::BinWidth::kU16);
+  EXPECT_EQ(q->num_cuts(0), 256u);
+
+  auto probe = IntegerProbe(2, -1, 310, 3);
+  BatchPredictor predictor(flat, ForceKernel(PredictKernel::kQuantized));
+  EXPECT_EQ(predictor.PredictAllLabels(probe),
+            reference::PredictAllBatch(forest, probe));
+}
+
+// One complete depth-16 tree: 65535 internal nodes = exactly the bin-width
+// limit (still eligible, u16) and > 32767 nodes in one tree (i32 children).
+TEST(QuantizedBuildTest, WideTreeUsesI32ChildrenAtTheU16Boundary) {
+  int next = 0;
+  auto t = CompleteTree(16, 0, &next, 1);
+  auto forest = forest::RandomForest::FromTrees({t}).MoveValue();
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  const auto q = flat.Quantized();
+  ASSERT_TRUE(q->eligible());
+  EXPECT_EQ(q->bin_width(), QuantizedEnsemble::BinWidth::kU16);
+  EXPECT_EQ(q->child_width(), QuantizedEnsemble::ChildWidth::kI32);
+  EXPECT_EQ(q->num_cuts(0), 65535u);
+  EXPECT_EQ(q->max_cuts(), 65535u);
+
+  auto probe = IntegerProbe(1, -2, 65536, 1021);
+  BatchPredictor predictor(flat, ForceKernel(PredictKernel::kQuantized));
+  EXPECT_EQ(predictor.ChosenKernel(), PredictKernel::kQuantized);
+  EXPECT_EQ(predictor.PredictLabels(probe), reference::PredictBatch(forest, probe));
+  EXPECT_DOUBLE_EQ(predictor.LabelAccuracy(probe),
+                   reference::Accuracy(forest, probe));
+}
+
+// Two more distinct thresholds push feature 0 past 65535 cuts: the ensemble
+// becomes ineligible and every path — including a forced kQuantized — must
+// fall back to the FloatKey kernel with identical results.
+TEST(QuantizedBuildTest, FallsBackToFloatKeyAbove65535Cuts) {
+  int next = 0;
+  auto big = CompleteTree(16, 0, &next, 1);
+  auto extra = tree::DecisionTree::FromNodes(
+                   {tree::TreeNode{0, 70000.25f, 1, 4, 0},
+                    tree::TreeNode{0, 70001.25f, 2, 3, 0},
+                    tree::TreeNode{-1, 0, -1, -1, +1},
+                    tree::TreeNode{-1, 0, -1, -1, -1},
+                    tree::TreeNode{-1, 0, -1, -1, +1}},
+                   1)
+                   .MoveValue();
+  auto forest = forest::RandomForest::FromTrees({big, extra}).MoveValue();
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  const auto q = flat.Quantized();
+  EXPECT_FALSE(q->eligible());
+  EXPECT_EQ(q->max_cuts(), 65537u);
+
+  BatchPredictor forced(flat, ForceKernel(PredictKernel::kQuantized));
+  EXPECT_EQ(forced.ChosenKernel(), PredictKernel::kFloatKey);
+
+  auto probe = IntegerProbe(1, -2, 70002, 1021);
+  // The model entry point (auto dispatch) must silently take the fallback.
+  EXPECT_EQ(forest.PredictBatch(probe), reference::PredictBatch(forest, probe));
+  EXPECT_EQ(forced.PredictAllLabels(probe),
+            reference::PredictAllBatch(forest, probe));
+}
+
+// The core property: quantized == scalar for randomized forests across
+// shapes and thread counts, on both the vote and accuracy paths.
+TEST(QuantizedEquivalenceTest, ForestBatchesMatchScalarAcrossRandomConfigs) {
+  struct Case {
+    uint64_t seed;
+    size_t trees, rows, features;
+    int max_depth;
+  };
+  const Case cases[] = {
+      {211, 1, 50, 3, -1},  {212, 3, 97, 5, 4},    {213, 16, 256, 8, -1},
+      {214, 7, 64, 12, 2},  {215, 33, 301, 4, -1}, {216, 2, 1, 6, -1},
+  };
+  for (const Case& c : cases) {
+    auto forest = MakeForest(c.seed, c.trees, c.rows, c.features, c.max_depth);
+    auto probe = data::synthetic::MakeBlobs(c.seed + 100, c.rows, c.features, 0.7);
+    auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+    ASSERT_TRUE(flat.Quantized()->eligible()) << "seed " << c.seed;
+    for (size_t threads : {1u, 2u, 5u}) {
+      BatchPredictor predictor(flat, ForceKernel(PredictKernel::kQuantized, threads));
+      EXPECT_EQ(predictor.PredictLabels(probe), reference::PredictBatch(forest, probe))
+          << "seed " << c.seed << " threads " << threads;
+      EXPECT_EQ(predictor.PredictAllLabels(probe),
+                reference::PredictAllBatch(forest, probe))
+          << "seed " << c.seed << " threads " << threads;
+      EXPECT_DOUBLE_EQ(predictor.LabelAccuracy(probe),
+                       reference::Accuracy(forest, probe))
+          << "seed " << c.seed << " threads " << threads;
+    }
+  }
+}
+
+// Duplicate thresholds (shared across trees) must collapse to one bin;
+// near-duplicates (adjacent floats) must stay distinct bins. Probes sit
+// exactly on, one ulp below, and one ulp above each threshold.
+TEST(QuantizedEquivalenceTest, DuplicateAndNearDuplicateThresholds) {
+  const float v = 0.5f;
+  const float v_up = std::nextafter(v, 1.0f);
+  const float v_down = std::nextafter(v, 0.0f);
+  auto tree_at = [](float threshold) {
+    return tree::DecisionTree::FromNodes(
+               {tree::TreeNode{0, threshold, 1, 2, 0},
+                tree::TreeNode{-1, 0, -1, -1, -1},
+                tree::TreeNode{-1, 0, -1, -1, +1}},
+               1)
+        .MoveValue();
+  };
+  auto forest = forest::RandomForest::FromTrees(
+                    {tree_at(v), tree_at(v_up), tree_at(v), tree_at(v_down),
+                     tree_at(v_up)})
+                    .MoveValue();
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  const auto q = flat.Quantized();
+  ASSERT_TRUE(q->eligible());
+  EXPECT_EQ(q->num_cuts(0), 3u);  // {v_down, v, v_up}, duplicates collapsed
+
+  data::Dataset probe(1);
+  for (float x : {v_down, v, v_up, std::nextafter(v_up, 1.0f), 0.0f, 1.0f,
+                  -std::numeric_limits<float>::infinity(),
+                  std::numeric_limits<float>::infinity()}) {
+    ASSERT_TRUE(probe.AddRow(std::vector<float>{x}, +1).ok());
+  }
+  BatchPredictor predictor(flat, ForceKernel(PredictKernel::kQuantized));
+  EXPECT_EQ(predictor.PredictAllLabels(probe),
+            reference::PredictAllBatch(forest, probe));
+}
+
+TEST(QuantizedEquivalenceTest, AllLeafTreesAndEmptyDatasets) {
+  auto plus = tree::DecisionTree::FromNodes({tree::TreeNode{-1, 0, -1, -1, +1}}, 4)
+                  .MoveValue();
+  auto minus = tree::DecisionTree::FromNodes({tree::TreeNode{-1, 0, -1, -1, -1}}, 4)
+                   .MoveValue();
+  auto d = data::synthetic::MakeBlobs(241, 120, 4, 1.5);
+  tree::TreeConfig config;
+  auto deep = tree::DecisionTree::Fit(d, {}, config).MoveValue();
+
+  // Mixed single-leaf roots + a real tree, and an all-leaf ensemble (empty
+  // arena, every root entry negative).
+  for (auto& forest :
+       {forest::RandomForest::FromTrees({plus, minus, deep, plus}).MoveValue(),
+        forest::RandomForest::FromTrees({plus, minus, plus}).MoveValue()}) {
+    auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+    ASSERT_TRUE(flat.Quantized()->eligible());
+    BatchPredictor predictor(flat, ForceKernel(PredictKernel::kQuantized));
+    EXPECT_EQ(predictor.PredictLabels(d), reference::PredictBatch(forest, d));
+    EXPECT_EQ(predictor.PredictAllLabels(d), reference::PredictAllBatch(forest, d));
+
+    data::Dataset empty(4);
+    EXPECT_TRUE(predictor.PredictLabels(empty).empty());
+    EXPECT_TRUE(predictor.PredictAllVotes(empty).empty());
+
+    data::Dataset one(4);
+    ASSERT_TRUE(one.AddRow(std::vector<float>{0.1f, 0.9f, 0.4f, 0.2f}, +1).ok());
+    EXPECT_EQ(predictor.PredictAllLabels(one), reference::PredictAllBatch(forest, one));
+  }
+}
+
+// GBDT regression trees: u16 bins + SoA double leaf values. Scores — not
+// just signs — must be bit-identical, and the one-pass staged curve must
+// match per-stage scalar re-scans, on the quantized kernel.
+TEST(QuantizedEquivalenceTest, GbdtScoresAndStagedCurveAreBitExact) {
+  for (uint64_t seed : {261u, 262u}) {
+    auto d = data::synthetic::MakeBlobs(seed, 220, 6, 0.9);
+    boosting::GbdtConfig config;
+    config.num_trees = 25;
+    auto model = boosting::Gbdt::Fit(d, config).MoveValue();
+    auto probe = data::synthetic::MakeBlobs(seed + 9, 143, 6, 0.9);
+
+    auto flat = FlatEnsemble::FromRegressionTrees(
+        model.trees(), model.initial_score(), model.learning_rate());
+    ASSERT_TRUE(flat.Quantized()->eligible());
+    for (size_t threads : {1u, 2u, 4u}) {
+      BatchPredictor predictor(flat, ForceKernel(PredictKernel::kQuantized, threads));
+      const auto scores = predictor.Scores(probe);
+      ASSERT_EQ(scores.size(), probe.num_rows());
+      for (size_t i = 0; i < probe.num_rows(); ++i) {
+        EXPECT_EQ(scores[i], model.Score(probe.Row(i))) << "row " << i;
+      }
+      EXPECT_DOUBLE_EQ(predictor.ScoreAccuracy(probe),
+                       reference::Accuracy(model, probe));
+      const auto curve = predictor.StagedAccuracyCurve(probe);
+      ASSERT_EQ(curve.size(), model.num_trees() + 1);
+      for (size_t k = 0; k <= model.num_trees(); ++k) {
+        EXPECT_DOUBLE_EQ(curve[k], reference::StagedAccuracy(model, probe, k))
+            << "k=" << k;
+      }
+    }
+  }
+}
+
+// Regression test for the sign-bit-NaN caveat: FloatKey now normalizes
+// every NaN payload (either sign) to the canonical quiet NaN, and the
+// quantized row transform bins through the same keys, so negative-NaN
+// features must route right (`!(x <= v)`) on BOTH kernels exactly like the
+// scalar paths.
+TEST(QuantizedEquivalenceTest, NegativeNanPayloadsMatchScalarOnBothKernels) {
+  float neg_nan, neg_nan_payload;
+  {
+    const uint32_t bits = 0xFFC00000u;  // sign-bit quiet NaN
+    std::memcpy(&neg_nan, &bits, sizeof(neg_nan));
+    const uint32_t payload_bits = 0xFF800001u;  // sign-bit signaling payload
+    std::memcpy(&neg_nan_payload, &payload_bits, sizeof(neg_nan_payload));
+  }
+  ASSERT_TRUE(std::isnan(neg_nan));
+  ASSERT_TRUE(std::isnan(neg_nan_payload));
+
+  // Deterministic single-split tree: scalar `x <= 0.5` is false for every
+  // NaN, so all NaN rows must take the right child (+1).
+  auto t = tree::DecisionTree::FromNodes({tree::TreeNode{0, 0.5f, 1, 2, 0},
+                                          tree::TreeNode{-1, 0, -1, -1, -1},
+                                          tree::TreeNode{-1, 0, -1, -1, +1}},
+                                         2)
+               .MoveValue();
+  auto forest = forest::RandomForest::FromTrees({t}).MoveValue();
+  data::Dataset probe(2);
+  ASSERT_TRUE(probe.AddRow(std::vector<float>{neg_nan, 0.0f}, +1).ok());
+  ASSERT_TRUE(probe.AddRow(std::vector<float>{neg_nan_payload, 1.0f}, +1).ok());
+  ASSERT_TRUE(probe.AddRow(std::vector<float>{std::nanf(""), 2.0f}, +1).ok());
+  ASSERT_TRUE(probe.AddRow(std::vector<float>{0.25f, 3.0f}, -1).ok());
+
+  const auto expected = reference::PredictBatch(forest, probe);
+  EXPECT_EQ(expected, (std::vector<int>{+1, +1, +1, -1}));
+
+  auto flat = FlatEnsemble::FromClassificationTrees(forest.trees());
+  for (PredictKernel kernel : {PredictKernel::kFloatKey, PredictKernel::kQuantized}) {
+    BatchPredictor predictor(flat, ForceKernel(kernel));
+    EXPECT_EQ(predictor.PredictLabels(probe), expected)
+        << "kernel " << static_cast<int>(kernel);
+  }
+
+  // And on a trained forest with NaNs injected into several features.
+  auto trained = MakeForest(271, 9, 180, 5);
+  auto base = data::synthetic::MakeBlobs(272, 60, 5, 0.8);
+  data::Dataset nan_probe(5);
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    std::vector<float> row(base.Row(r).begin(), base.Row(r).end());
+    row[r % 5] = r % 2 == 0 ? neg_nan : neg_nan_payload;
+    ASSERT_TRUE(nan_probe.AddRow(row, base.Label(r)).ok());
+  }
+  auto trained_flat = FlatEnsemble::FromClassificationTrees(trained.trees());
+  const auto trained_expected = reference::PredictAllBatch(trained, nan_probe);
+  for (PredictKernel kernel : {PredictKernel::kFloatKey, PredictKernel::kQuantized}) {
+    BatchPredictor predictor(trained_flat, ForceKernel(kernel));
+    EXPECT_EQ(predictor.PredictAllLabels(nan_probe), trained_expected)
+        << "kernel " << static_cast<int>(kernel);
+  }
+}
+
+TEST(KernelDispatchTest, EnvStringParsing) {
+  EXPECT_EQ(KernelChoiceFromString(nullptr), PredictKernel::kAuto);
+  EXPECT_EQ(KernelChoiceFromString(""), PredictKernel::kAuto);
+  EXPECT_EQ(KernelChoiceFromString("quantized"), PredictKernel::kQuantized);
+  EXPECT_EQ(KernelChoiceFromString("floatkey"), PredictKernel::kFloatKey);
+  EXPECT_EQ(KernelChoiceFromString("flat"), PredictKernel::kFloatKey);
+  EXPECT_EQ(KernelChoiceFromString("auto"), PredictKernel::kAuto);
+  EXPECT_EQ(KernelChoiceFromString("nonsense"), PredictKernel::kAuto);
+}
+
+TEST(KernelDispatchTest, AutoDefaultsToFloatKeyAndExplicitChoiceWins) {
+  auto forest = MakeForest(281, 5, 150, 4);
+  auto flat = std::make_shared<const FlatEnsemble>(
+      FlatEnsemble::FromClassificationTrees(forest.trees()));
+  ASSERT_TRUE(flat->Quantized()->eligible());
+  // Auto resolves to FloatKey even on an eligible ensemble (quantized is
+  // opt-in — it measured slower end-to-end on the bench host; see ROADMAP).
+  // Only assertable when no ambient TREEWM_PREDICT_KERNEL override is set:
+  // the env value is read once per process, so it cannot be scrubbed here.
+  if (KernelChoiceFromString(std::getenv("TREEWM_PREDICT_KERNEL")) ==
+      PredictKernel::kAuto) {
+    EXPECT_EQ(BatchPredictor(flat).ChosenKernel(), PredictKernel::kFloatKey);
+  }
+  EXPECT_EQ(BatchPredictor(flat, ForceKernel(PredictKernel::kFloatKey)).ChosenKernel(),
+            PredictKernel::kFloatKey);
+  EXPECT_EQ(BatchPredictor(flat, ForceKernel(PredictKernel::kQuantized)).ChosenKernel(),
+            PredictKernel::kQuantized);
+}
+
+// The model-class entry points dispatch automatically; whatever kernel auto
+// picks must agree with the scalar reference end to end (this is the no
+// call-site-changes guarantee for RandomForest / Gbdt / verification /
+// solver consumers).
+TEST(KernelDispatchTest, ModelEntryPointsStayExactUnderAutoDispatch) {
+  auto forest = MakeForest(291, 12, 200, 6);
+  auto probe = data::synthetic::MakeBlobs(292, 160, 6, 0.8);
+  EXPECT_EQ(forest.PredictBatch(probe), reference::PredictBatch(forest, probe));
+  EXPECT_EQ(forest.PredictAllBatch(probe), reference::PredictAllBatch(forest, probe));
+  EXPECT_DOUBLE_EQ(forest.Accuracy(probe), reference::Accuracy(forest, probe));
+
+  auto d = data::synthetic::MakeBlobs(293, 180, 5, 1.1);
+  boosting::GbdtConfig config;
+  config.num_trees = 12;
+  auto model = boosting::Gbdt::Fit(d, config).MoveValue();
+  auto gprobe = data::synthetic::MakeBlobs(294, 95, 5, 1.1);
+  EXPECT_DOUBLE_EQ(model.Accuracy(gprobe), reference::Accuracy(model, gprobe));
+  const auto curve = model.StagedAccuracyCurve(gprobe);
+  for (size_t k = 0; k <= model.num_trees(); ++k) {
+    EXPECT_DOUBLE_EQ(curve[k], reference::StagedAccuracy(model, gprobe, k));
+  }
+}
+
+}  // namespace
+}  // namespace treewm::predict
