@@ -9,9 +9,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -107,19 +107,16 @@ struct ForestFixture {
   forest::RandomForest forest;
 };
 
-/// Returns the cached fixture for (data_seed, rows, features, spread) blobs
-/// and a num_trees forest seeded with forest_seed — built once per process
-/// and shared across benchmarks, so repetitions never re-train.
-inline const ForestFixture& CachedForestFixture(uint64_t data_seed, size_t rows,
-                                                size_t features, double spread,
-                                                size_t num_trees,
-                                                uint64_t forest_seed) {
-  using Key = std::tuple<uint64_t, size_t, size_t, double, size_t, uint64_t>;
-  static auto* cache = new std::map<Key, ForestFixture>();
-  const Key key{data_seed, rows, features, spread, num_trees, forest_seed};
+/// Shared cache body behind the two fixture entry points below: builds the
+/// dataset via `make_data` and fits a num_trees forest seeded with
+/// forest_seed, once per process per key, so repetitions never re-train.
+inline const ForestFixture& CachedForestFixtureImpl(
+    const std::string& key, const std::function<data::Dataset()>& make_data,
+    size_t num_trees, uint64_t forest_seed) {
+  static auto* cache = new std::map<std::string, ForestFixture>();
   auto it = cache->find(key);
   if (it == cache->end()) {
-    auto data = data::synthetic::MakeBlobs(data_seed, rows, features, spread);
+    auto data = make_data();
     forest::ForestConfig config;
     config.num_trees = num_trees;
     config.seed = forest_seed;
@@ -128,6 +125,38 @@ inline const ForestFixture& CachedForestFixture(uint64_t data_seed, size_t rows,
              .first;
   }
   return it->second;
+}
+
+/// Returns the cached fixture for (data_seed, rows, features, spread) blobs
+/// and a num_trees forest seeded with forest_seed.
+inline const ForestFixture& CachedForestFixture(uint64_t data_seed, size_t rows,
+                                                size_t features, double spread,
+                                                size_t num_trees,
+                                                uint64_t forest_seed) {
+  const std::string key =
+      "blobs/" + std::to_string(data_seed) + "/" + std::to_string(rows) + "/" +
+      std::to_string(features) + "/" + std::to_string(spread) + "/" +
+      std::to_string(num_trees) + "/" + std::to_string(forest_seed);
+  return CachedForestFixtureImpl(
+      key,
+      [&] { return data::synthetic::MakeBlobs(data_seed, rows, features, spread); },
+      num_trees, forest_seed);
+}
+
+/// Cached fixture over a *named* synthetic dataset
+/// (data::synthetic::MakeByName; rows = 0 means the dataset's default size)
+/// — the forgery micros run on breast-cancer-like data, not blobs.
+inline const ForestFixture& CachedNamedForestFixture(const std::string& name,
+                                                     uint64_t data_seed,
+                                                     size_t rows, size_t num_trees,
+                                                     uint64_t forest_seed) {
+  const std::string key = name + "/" + std::to_string(data_seed) + "/" +
+                          std::to_string(rows) + "/" + std::to_string(num_trees) +
+                          "/" + std::to_string(forest_seed);
+  return CachedForestFixtureImpl(
+      key,
+      [&] { return data::synthetic::MakeByName(name, data_seed, rows).MoveValue(); },
+      num_trees, forest_seed);
 }
 
 /// Prints a horizontal rule sized to typical harness tables.

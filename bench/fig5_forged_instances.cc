@@ -42,7 +42,7 @@ int main() {
                   inst.linf_distance);
       std::printf("%s",
                   data::synthetic::RenderImageAscii(inst.features).c_str());
-      auto ds = report.ToDataset(env.test.num_features());
+      auto ds = report.ToDataset(env.test.num_features()).MoveValue();
       data::Dataset* sink = &all_forged;
       (void)sink->Concat(ds);
     }

@@ -5,13 +5,25 @@
 
 namespace treewm::attacks {
 
-data::Dataset ForgeryAttackReport::ToDataset(size_t num_features) const {
+namespace {
+
+/// Anchors per SolveBatch call. Chunking (instead of one batch over the
+/// whole test set) preserves the sequential loop's early-stop semantics:
+/// once max_forged is reached mid-chunk the remaining solved outcomes are
+/// discarded, so at most kAnchorChunk - 1 solves are wasted while attempts,
+/// verdict counts and forged instances stay bit-identical to the scalar
+/// loop (witness-validation failures excepted — see RunForgeryAttack's
+/// header contract).
+constexpr size_t kAnchorChunk = 32;
+
+}  // namespace
+
+Result<data::Dataset> ForgeryAttackReport::ToDataset(size_t num_features) const {
   data::Dataset out(num_features);
   out.set_name("forged-trigger");
   out.Reserve(instances.size());
   for (const ForgedInstance& inst : instances) {
-    Status st = out.AddRow(inst.features, inst.label);
-    (void)st;
+    TREEWM_RETURN_IF_ERROR(out.AddRow(inst.features, inst.label));
   }
   return out;
 }
@@ -23,50 +35,73 @@ Result<ForgeryAttackReport> RunForgeryAttack(const forest::RandomForest& model,
   if (fake_signature.length() != model.num_trees()) {
     return Status::InvalidArgument("fake signature length != number of trees");
   }
+  // The attack-level narrowing of the solver's ε >= 0 domain — see the
+  // ForgeryAttackConfig::epsilon contract.
   if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
     return Status::InvalidArgument("epsilon must be in (0,1)");
   }
 
+  smt::ForgeryBatchQuery shared;
+  shared.signature_bits = fake_signature.bits();
+  shared.epsilon = config.epsilon;
+  shared.max_nodes_per_anchor = config.max_nodes_per_instance;
+  // Requirement arenas are compiled once per label here and reused across
+  // every chunk of the run.
+  smt::ForgeryArenaCache arenas;
+
   ForgeryAttackReport report;
-  for (size_t i = 0; i < test.num_rows(); ++i) {
-    if (config.max_attempts != 0 && report.attempts >= config.max_attempts) break;
+  size_t next_row = 0;
+  bool stop = false;
+  while (!stop && next_row < test.num_rows()) {
+    size_t chunk = std::min(kAnchorChunk, test.num_rows() - next_row);
+    if (config.max_attempts != 0) {
+      if (report.attempts >= config.max_attempts) break;
+      chunk = std::min(chunk, config.max_attempts - report.attempts);
+    }
     if (config.max_forged != 0 && report.forged >= config.max_forged) break;
-    ++report.attempts;
 
-    smt::ForgeryQuery query;
-    query.signature_bits = fake_signature.bits();
-    query.target_label = test.Label(i);
-    const auto row = test.Row(i);
-    query.anchor.assign(row.begin(), row.end());
-    query.epsilon = config.epsilon;
-    query.max_nodes = config.max_nodes_per_instance;
+    std::vector<size_t> indices(chunk);
+    for (size_t j = 0; j < chunk; ++j) indices[j] = next_row + j;
+    const data::Dataset anchors = test.Subset(indices);
+    TREEWM_ASSIGN_OR_RETURN(
+        std::vector<smt::ForgeryOutcome> outcomes,
+        smt::ForgerySolver::SolveBatch(model, shared, anchors, &arenas));
 
-    TREEWM_ASSIGN_OR_RETURN(smt::ForgeryOutcome outcome,
-                            smt::ForgerySolver::Solve(model, query));
-    report.total_nodes += outcome.nodes_explored;
-    switch (outcome.result) {
-      case sat::SatResult::kSat: {
-        ForgedInstance inst;
-        inst.features = outcome.witness;
-        inst.label = query.target_label;
-        inst.source_row = i;
-        double dist = 0.0;
-        for (size_t f = 0; f < inst.features.size(); ++f) {
-          dist = std::max(dist, std::fabs(static_cast<double>(inst.features[f]) -
-                                          static_cast<double>(query.anchor[f])));
-        }
-        inst.linf_distance = dist;
-        report.instances.push_back(std::move(inst));
-        ++report.forged;
+    for (size_t j = 0; j < chunk; ++j) {
+      if (config.max_forged != 0 && report.forged >= config.max_forged) {
+        stop = true;
         break;
       }
-      case sat::SatResult::kUnsat:
-        ++report.unsat;
-        break;
-      case sat::SatResult::kUnknown:
-        ++report.budget_exhausted;
-        break;
+      const size_t i = next_row + j;
+      ++report.attempts;
+      const smt::ForgeryOutcome& outcome = outcomes[j];
+      report.total_nodes += outcome.nodes_explored;
+      switch (outcome.result) {
+        case sat::SatResult::kSat: {
+          ForgedInstance inst;
+          inst.features = outcome.witness;
+          inst.label = test.Label(i);
+          inst.source_row = i;
+          const auto anchor = test.Row(i);
+          double dist = 0.0;
+          for (size_t f = 0; f < inst.features.size(); ++f) {
+            dist = std::max(dist, std::fabs(static_cast<double>(inst.features[f]) -
+                                            static_cast<double>(anchor[f])));
+          }
+          inst.linf_distance = dist;
+          report.instances.push_back(std::move(inst));
+          ++report.forged;
+          break;
+        }
+        case sat::SatResult::kUnsat:
+          ++report.unsat;
+          break;
+        case sat::SatResult::kUnknown:
+          ++report.budget_exhausted;
+          break;
+      }
     }
+    next_row += chunk;
   }
 
   // Re-run Charlie's acceptance test over the whole forged set in row blocks

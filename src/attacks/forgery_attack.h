@@ -24,7 +24,12 @@ namespace treewm::attacks {
 
 /// Attack parameters.
 struct ForgeryAttackConfig {
-  /// L∞ distortion bound ε ∈ (0,1).
+  /// L∞ distortion bound ε ∈ (0,1). This intentionally narrows the solver's
+  /// ε >= 0 domain (smt::ValidateBallGeometry): anchors are normalized to
+  /// the [0,1] feature domain, where ε >= 1 makes the ball cover the whole
+  /// domain (no distortion bound left — the attack degenerates to an
+  /// unconstrained query) and ε = 0 is an exact-match query that cannot
+  /// forge anything the model does not already exhibit.
   double epsilon = 0.1;
   /// Stop once this many instances were forged (0 = no cap; the paper caps
   /// implicitly at the size of the original trigger set).
@@ -60,11 +65,22 @@ struct ForgeryAttackReport {
   size_t revalidated = 0;
 
   /// The attacker's forged trigger set as a Dataset (labels = target y).
-  data::Dataset ToDataset(size_t num_features) const;
+  /// Fails if any instance does not fit a `num_features`-wide dataset (a
+  /// mismatch used to be silently dropped, yielding a short dataset).
+  Result<data::Dataset> ToDataset(size_t num_features) const;
 };
 
 /// Runs the attack: iterate over `test` rows (as anchors), query the forgery
-/// solver with σ' and the row's label as target, collect successes.
+/// solver with σ' and the row's label as target, collect successes. Anchors
+/// are solved in chunks through ForgerySolver::SolveBatch — one compiled
+/// requirement arena per label for the whole run, watched-option search,
+/// thread fan-out — with outcome accounting identical to the sequential
+/// per-anchor loop (same stop conditions, same per-anchor verdicts). One
+/// divergence: a witness failing ensemble validation (an internal solver
+/// invariant violation) aborts the whole run even when it occurs on a
+/// chunk-mate past the early-stop point that the sequential loop would
+/// never have solved — an invariant violation anywhere is grounds to
+/// distrust the report, so it fails loudly rather than being discarded.
 Result<ForgeryAttackReport> RunForgeryAttack(const forest::RandomForest& model,
                                              const core::Signature& fake_signature,
                                              const data::Dataset& test,

@@ -37,6 +37,11 @@ bool Box::CompatibleWith(int f, double lo, double hi) const {
   return std::max(current.lo, lo) < std::min(current.hi, hi);
 }
 
+void Box::Reset() {
+  trail_.clear();
+  std::fill(intervals_.begin(), intervals_.end(), Interval{-kInf, kInf});
+}
+
 void Box::RevertTo(size_t mark) {
   assert(mark <= trail_.size());
   while (trail_.size() > mark) {

@@ -54,6 +54,10 @@ class Box {
   size_t Mark() const { return trail_.size(); }
   void RevertTo(size_t mark);
 
+  /// Restores the universal box and clears the trail, keeping allocated
+  /// capacity (the solver's per-thread workspaces reuse one Box per anchor).
+  void Reset();
+
   /// Picks a point inside the box, as close to `anchor` per-dimension as
   /// possible (anchor may be empty => midpoints / finite bounds are used).
   /// Requires every interval to be non-empty and bounded at least on one

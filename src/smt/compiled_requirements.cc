@@ -1,0 +1,91 @@
+#include "smt/compiled_requirements.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "smt/tree_constraints.h"
+
+namespace treewm::smt {
+
+Result<std::shared_ptr<const CompiledRequirements>> CompiledRequirements::Compile(
+    const forest::RandomForest& forest, const std::vector<uint8_t>& signature_bits,
+    int target_label) {
+  // BuildTreeRequirements stays the single authority on leaf extraction and
+  // input validation; Compile only changes the shape of its answer.
+  TREEWM_ASSIGN_OR_RETURN(
+      std::vector<TreeRequirement> requirements,
+      BuildTreeRequirements(forest, signature_bits, target_label));
+
+  auto arena = std::shared_ptr<CompiledRequirements>(new CompiledRequirements());
+  arena->num_features_ = forest.num_features();
+  arena->signature_bits_ = signature_bits;
+  arena->target_label_ = target_label;
+
+  size_t num_options = 0;
+  size_t num_constraints = 0;
+  for (const TreeRequirement& req : requirements) {
+    num_options += req.options.size();
+    for (const LeafOption& option : req.options) {
+      num_constraints += option.constraints.size();
+    }
+  }
+
+  arena->req_option_begin_.reserve(requirements.size() + 1);
+  arena->option_requirement_.reserve(num_options);
+  arena->option_constraint_begin_.reserve(num_options + 1);
+  arena->constraint_feature_.reserve(num_constraints);
+  arena->constraint_lo_.reserve(num_constraints);
+  arena->constraint_hi_.reserve(num_constraints);
+
+  arena->req_option_begin_.push_back(0);
+  arena->option_constraint_begin_.push_back(0);
+  for (size_t r = 0; r < requirements.size(); ++r) {
+    for (LeafOption& option : requirements[r].options) {
+      // The feature-sorted, one-entry-per-feature span layout comes for
+      // free: ExtractLeaves emits each leaf's constraints from a
+      // std::map<feature, interval>. The watch lists below rely on the
+      // per-feature uniqueness; the search relies on nothing more.
+      assert(std::is_sorted(
+          option.constraints.begin(), option.constraints.end(),
+          [](const auto& a, const auto& b) { return a.feature < b.feature; }));
+      for (const auto& c : option.constraints) {
+        arena->constraint_feature_.push_back(c.feature);
+        arena->constraint_lo_.push_back(c.lo);
+        arena->constraint_hi_.push_back(c.hi);
+      }
+      arena->option_requirement_.push_back(static_cast<uint32_t>(r));
+      arena->option_constraint_begin_.push_back(
+          static_cast<uint32_t>(arena->constraint_feature_.size()));
+    }
+    arena->req_option_begin_.push_back(
+        static_cast<uint32_t>(arena->option_requirement_.size()));
+  }
+
+  // Inverted index: counting sort of constraints by feature. Entries come
+  // out ordered by (feature, option) — deterministic recheck order.
+  const size_t d = arena->num_features_;
+  arena->watch_begin_.assign(d + 1, 0);
+  for (int32_t f : arena->constraint_feature_) {
+    ++arena->watch_begin_[static_cast<size_t>(f) + 1];
+  }
+  for (size_t f = 0; f < d; ++f) {
+    arena->watch_begin_[f + 1] += arena->watch_begin_[f];
+  }
+  arena->watch_option_.resize(num_constraints);
+  arena->watch_constraint_.resize(num_constraints);
+  std::vector<uint32_t> cursor(arena->watch_begin_.begin(),
+                               arena->watch_begin_.end() - 1);
+  for (size_t o = 0; o < arena->option_requirement_.size(); ++o) {
+    for (uint32_t c = arena->option_constraint_begin_[o];
+         c < arena->option_constraint_begin_[o + 1]; ++c) {
+      const auto f = static_cast<size_t>(arena->constraint_feature_[c]);
+      const uint32_t slot = cursor[f]++;
+      arena->watch_option_[slot] = static_cast<uint32_t>(o);
+      arena->watch_constraint_[slot] = c;
+    }
+  }
+
+  return std::shared_ptr<const CompiledRequirements>(std::move(arena));
+}
+
+}  // namespace treewm::smt

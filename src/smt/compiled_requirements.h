@@ -1,0 +1,89 @@
+// Flat, immutable, shareable image of a forgery query's requirements.
+//
+// BuildTreeRequirements answers "which leaf boxes satisfy tree i under
+// (σ', y)?" as nested vectors — convenient, but the forgery attack solves
+// one query per test anchor against the SAME (forest, σ', y), so rebuilding
+// that structure per anchor re-walks every tree to re-extract identical
+// boxes. CompiledRequirements packs the answer once into a struct-of-arrays
+// arena (the src/predict/ recipe applied to the solver): leaf options lie
+// contiguously per requirement, each option owns a feature-sorted span of
+// interval constraints, and a per-feature inverted index records which
+// (option, constraint) pairs watch that feature. The watched-option search
+// in forgery_solver.cc uses the index to recheck only the options whose
+// feature was just tightened instead of rescanning every option of every
+// tree at every node.
+//
+// The arena is immutable after Compile and carries no per-query state, so
+// one shared_ptr serves every anchor of an attack across threads.
+
+#ifndef TREEWM_SMT_COMPILED_REQUIREMENTS_H_
+#define TREEWM_SMT_COMPILED_REQUIREMENTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "forest/random_forest.h"
+
+namespace treewm::smt {
+
+/// The compiled (forest, σ', y) requirement arena. All index arrays use
+/// uint32 — a query with 2^32 leaf boxes is far beyond solvable anyway.
+class CompiledRequirements {
+ public:
+  /// Compiles the requirements for (forest, signature_bits, target_label).
+  /// Validates like BuildTreeRequirements (signature length, label ∈ {±1}).
+  static Result<std::shared_ptr<const CompiledRequirements>> Compile(
+      const forest::RandomForest& forest,
+      const std::vector<uint8_t>& signature_bits, int target_label);
+
+  // ------------------------------------------------------------ metadata --
+  size_t num_features() const { return num_features_; }
+  size_t num_requirements() const { return req_option_begin_.size() - 1; }
+  size_t num_options() const { return option_requirement_.size(); }
+  size_t num_constraints() const { return constraint_feature_.size(); }
+  const std::vector<uint8_t>& signature_bits() const { return signature_bits_; }
+  int target_label() const { return target_label_; }
+
+  // ------------------------------------------------------------- layout ---
+  // Requirement r's options:     [req_option_begin()[r], req_option_begin()[r+1])
+  // Option o's constraints:      [option_constraint_begin()[o], ...[o+1])
+  //                              (sorted by feature; one entry per feature)
+  // Feature f's watch entries:   [watch_begin()[f], watch_begin()[f+1])
+  //   — every (option, constraint) pair whose constraint tests feature f.
+
+  std::span<const uint32_t> req_option_begin() const { return req_option_begin_; }
+  std::span<const uint32_t> option_requirement() const { return option_requirement_; }
+  std::span<const uint32_t> option_constraint_begin() const {
+    return option_constraint_begin_;
+  }
+  std::span<const int32_t> constraint_feature() const { return constraint_feature_; }
+  std::span<const double> constraint_lo() const { return constraint_lo_; }
+  std::span<const double> constraint_hi() const { return constraint_hi_; }
+  std::span<const uint32_t> watch_begin() const { return watch_begin_; }
+  std::span<const uint32_t> watch_option() const { return watch_option_; }
+  std::span<const uint32_t> watch_constraint() const { return watch_constraint_; }
+
+ private:
+  CompiledRequirements() = default;
+
+  size_t num_features_ = 0;
+  std::vector<uint8_t> signature_bits_;
+  int target_label_ = 0;
+
+  std::vector<uint32_t> req_option_begin_;       ///< size R+1
+  std::vector<uint32_t> option_requirement_;     ///< size O
+  std::vector<uint32_t> option_constraint_begin_;///< size O+1
+  std::vector<int32_t> constraint_feature_;      ///< size C
+  std::vector<double> constraint_lo_;            ///< size C (exclusive)
+  std::vector<double> constraint_hi_;            ///< size C (inclusive)
+  std::vector<uint32_t> watch_begin_;            ///< size d+1
+  std::vector<uint32_t> watch_option_;           ///< size C
+  std::vector<uint32_t> watch_constraint_;       ///< size C
+};
+
+}  // namespace treewm::smt
+
+#endif  // TREEWM_SMT_COMPILED_REQUIREMENTS_H_

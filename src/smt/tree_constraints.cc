@@ -37,16 +37,12 @@ Result<std::vector<TreeRequirement>> BuildTreeRequirements(
   return requirements;
 }
 
-namespace {
-
 bool OptionCompatible(const Box& box, const LeafOption& option) {
   for (const auto& c : option.constraints) {
     if (!box.CompatibleWith(c.feature, c.lo, c.hi)) return false;
   }
   return true;
 }
-
-}  // namespace
 
 size_t FilterOptions(const Box& box, std::vector<TreeRequirement>* requirements) {
   size_t total = 0;

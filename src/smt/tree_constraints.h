@@ -41,6 +41,13 @@ Result<std::vector<TreeRequirement>> BuildTreeRequirements(
     const forest::RandomForest& forest, const std::vector<uint8_t>& signature_bits,
     int target_label);
 
+/// True iff every constraint of `option` individually intersects `box`
+/// (equivalently, since constraints are per-feature: the leaf box and `box`
+/// overlap). The naive-rescan reference search and FilterOptions both use
+/// this; the watched-option engine replaces the rescan with incremental
+/// liveness bookkeeping over CompiledRequirements.
+bool OptionCompatible(const Box& box, const LeafOption& option);
+
 /// Drops leaf options incompatible with `box`; removes nothing from `box`.
 /// Returns the number of options remaining across all requirements.
 size_t FilterOptions(const Box& box, std::vector<TreeRequirement>* requirements);

@@ -87,9 +87,15 @@ TEST(ForgeryAttackTest, ToDatasetCollectsInstances) {
   config.epsilon = 0.8;
   config.max_attempts = 10;
   auto report = RunForgeryAttack(fx.wm.model, fake, fx.test, config).MoveValue();
-  auto forged = report.ToDataset(fx.test.num_features());
+  auto forged = report.ToDataset(fx.test.num_features()).MoveValue();
   EXPECT_EQ(forged.num_rows(), report.forged);
   EXPECT_EQ(forged.num_features(), fx.test.num_features());
+
+  // A feature-count mismatch is now a hard failure instead of a silently
+  // shorter dataset.
+  if (report.forged > 0) {
+    EXPECT_FALSE(report.ToDataset(fx.test.num_features() + 1).ok());
+  }
 }
 
 TEST(ForgeryAttackTest, ValidatesInputs) {
