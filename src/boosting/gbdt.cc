@@ -43,14 +43,25 @@ Result<Gbdt> Gbdt::Fit(const data::Dataset& dataset, const GbdtConfig& config) {
   std::vector<double> residuals(n);
   model.trees_.reserve(config.num_trees);
 
+  // The row set never changes across boosting rounds, so the per-feature
+  // column sort is paid ONCE here and amortized over every tree of every
+  // stage (the big sort-once multiplier for GBDT).
+  std::shared_ptr<const tree::SortedColumns> sorted;
+  if (!config.use_reference_trainer) {
+    sorted = tree::SortedColumns::Build(dataset);
+  }
+
   for (size_t round = 0; round < config.num_trees; ++round) {
     // Negative gradient of logistic loss: y01 - sigmoid(F).
     for (size_t i = 0; i < n; ++i) {
       const double y01 = dataset.Label(i) > 0 ? 1.0 : 0.0;
       residuals[i] = y01 - Sigmoid(scores[i]);
     }
-    TREEWM_ASSIGN_OR_RETURN(RegressionTree tree,
-                            RegressionTree::Fit(dataset, residuals, config.tree));
+    TREEWM_ASSIGN_OR_RETURN(
+        RegressionTree tree,
+        config.use_reference_trainer
+            ? RegressionTree::FitReference(dataset, residuals, config.tree)
+            : RegressionTree::Fit(dataset, residuals, config.tree, sorted.get()));
 
     // Newton step per leaf: gamma = sum(residual) / sum(p(1-p)).
     std::vector<double> numerator(tree.nodes().size(), 0.0);

@@ -32,6 +32,11 @@ struct GbdtConfig {
   double learning_rate = 0.1;
   /// Member-tree induction parameters (shallow by default).
   RegressionTreeConfig tree;
+  /// Fit member trees with the retained naive trainer
+  /// (RegressionTree::FitReference) instead of the sort-once engine. Slow;
+  /// exists so the bit-identical equivalence contract is testable end to
+  /// end through the boosting loop (and as the bench baseline).
+  bool use_reference_trainer = false;
 
   Status Validate() const;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/string_util.h"
+#include "tree/trainer_core.h"
 
 namespace treewm::boosting {
 
@@ -24,16 +25,19 @@ struct Entry {
 };
 
 /// Best SSE-reducing split of `indices` over all features, or feature -1.
+/// This is the RETAINED NAIVE REFERENCE sweep (per-node re-sort); production
+/// training runs on the presorted engine below. Kept as the executable
+/// specification the property tests compare against.
 struct BestSplit {
   int feature = -1;
   float threshold = 0.0f;
   double gain = 0.0;
 };
 
-BestSplit FindBestSplit(const data::Dataset& dataset,
-                        const std::vector<double>& targets,
-                        const std::vector<size_t>& indices, size_t min_samples_leaf,
-                        double min_gain) {
+BestSplit FindBestSplitNaive(const data::Dataset& dataset,
+                             const std::vector<double>& targets,
+                             const std::vector<size_t>& indices,
+                             size_t min_samples_leaf, double min_gain) {
   BestSplit best;
   const size_t n = indices.size();
   if (n < 2 * min_samples_leaf) return best;
@@ -46,8 +50,10 @@ BestSplit FindBestSplit(const data::Dataset& dataset,
     for (size_t i = 0; i < n; ++i) {
       entries[i] = {dataset.At(indices[i], f), targets[indices[i]]};
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry& a, const Entry& b) { return a.value < b.value; });
+    // Stable: value ties keep `indices` (ascending-row) order — the
+    // accumulation-order contract the presorted engine reproduces.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) { return a.value < b.value; });
     if (entries.front().value == entries.back().value) continue;
 
     // SSE(parent) - SSE(children) = sum_l^2/n_l + sum_r^2/n_r - sum^2/n.
@@ -79,9 +85,11 @@ BestSplit FindBestSplit(const data::Dataset& dataset,
 
 }  // namespace
 
-Result<RegressionTree> RegressionTree::Fit(const data::Dataset& dataset,
-                                           const std::vector<double>& targets,
-                                           const RegressionTreeConfig& config) {
+namespace {
+
+Status ValidateRegressionInputs(const data::Dataset& dataset,
+                                const std::vector<double>& targets,
+                                const RegressionTreeConfig& config) {
   TREEWM_RETURN_IF_ERROR(config.Validate());
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot fit on an empty dataset");
@@ -91,6 +99,90 @@ Result<RegressionTree> RegressionTree::Fit(const data::Dataset& dataset,
         StrFormat("targets size %zu != rows %zu", targets.size(),
                   dataset.num_rows()));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RegressionTree> RegressionTree::Fit(const data::Dataset& dataset,
+                                           const std::vector<double>& targets,
+                                           const RegressionTreeConfig& config,
+                                           const tree::SortedColumns* sorted) {
+  TREEWM_RETURN_IF_ERROR(ValidateRegressionInputs(dataset, targets, config));
+  TREEWM_RETURN_IF_ERROR(tree::ValidateColumnsMatch(sorted, dataset));
+
+  std::shared_ptr<const tree::SortedColumns> owned_sorted;
+  if (sorted == nullptr) {
+    owned_sorted = tree::SortedColumns::Build(dataset);
+    sorted = owned_sorted.get();
+  }
+  std::vector<int> features(dataset.num_features());
+  for (size_t j = 0; j < dataset.num_features(); ++j) features[j] = static_cast<int>(j);
+  // The identity column keeps each node's members in ascending row order so
+  // per-node target sums accumulate exactly as the reference's index loop.
+  tree::TrainerCore core(*sorted, features, /*with_identity=*/true);
+
+  RegressionTree tree;
+  tree.num_features_ = dataset.num_features();
+  const double* target_of = targets.data();
+
+  struct Frame {
+    int node;
+    int depth;
+    size_t begin;
+    size_t end;
+  };
+  tree.nodes_.push_back(RegressionNode{});
+  std::vector<Frame> stack{{0, 0, 0, dataset.num_rows()}};
+
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const size_t count = frame.end - frame.begin;
+
+    double sum = 0.0;
+    for (const tree::ColumnEntry& e : core.Members(frame.begin, frame.end)) {
+      sum += target_of[e.row];
+    }
+    const double mean = sum / static_cast<double>(count);
+
+    tree::RegressionSplitCandidate split;
+    if (frame.depth < config.max_depth && count >= 2 * config.min_samples_leaf) {
+      const double parent_term = sum * sum / static_cast<double>(count);
+      for (size_t slot = 0; slot < core.num_slots(); ++slot) {
+        BestSseSplitOnColumn(core.Column(slot, frame.begin, frame.end),
+                             core.feature_at(slot), target_of, sum, parent_term,
+                             config.min_samples_leaf, config.min_gain, &split);
+      }
+    }
+    if (split.feature == -1) {
+      tree.nodes_[static_cast<size_t>(frame.node)].value = mean;
+      continue;
+    }
+
+    const size_t mid = core.ApplySplit(frame.begin, frame.end,
+                                       core.SlotOf(split.feature), split.left_count);
+    assert(mid > frame.begin && mid < frame.end);
+
+    const int left = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(RegressionNode{});
+    const int right = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(RegressionNode{});
+    RegressionNode& node = tree.nodes_[static_cast<size_t>(frame.node)];
+    node.feature = split.feature;
+    node.threshold = split.threshold;
+    node.left = left;
+    node.right = right;
+    stack.push_back({left, frame.depth + 1, frame.begin, mid});
+    stack.push_back({right, frame.depth + 1, mid, frame.end});
+  }
+  return tree;
+}
+
+Result<RegressionTree> RegressionTree::FitReference(
+    const data::Dataset& dataset, const std::vector<double>& targets,
+    const RegressionTreeConfig& config) {
+  TREEWM_RETURN_IF_ERROR(ValidateRegressionInputs(dataset, targets, config));
 
   RegressionTree tree;
   tree.num_features_ = dataset.num_features();
@@ -115,8 +207,8 @@ Result<RegressionTree> RegressionTree::Fit(const data::Dataset& dataset,
 
     BestSplit split;
     if (frame.depth < config.max_depth) {
-      split = FindBestSplit(dataset, targets, frame.indices,
-                            config.min_samples_leaf, config.min_gain);
+      split = FindBestSplitNaive(dataset, targets, frame.indices,
+                                 config.min_samples_leaf, config.min_gain);
     }
     if (split.feature == -1) {
       tree.nodes_[static_cast<size_t>(frame.node)].value = mean;

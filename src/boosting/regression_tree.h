@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "tree/sorted_columns.h"
 
 namespace treewm::boosting {
 
@@ -45,9 +46,22 @@ class RegressionTree {
  public:
   /// Fits to `targets` (one per dataset row) using the dataset's features;
   /// dataset labels are ignored.
+  ///
+  /// Runs on the sort-once column-index engine (tree/sorted_columns.h +
+  /// tree/trainer_core.h). Pass a prebuilt `sorted` for the same dataset to
+  /// amortize the one-time column sort — for GBDT the row set is fixed
+  /// across ALL boosting rounds, so one sort serves every stage. nullptr
+  /// builds it internally. Bit-identical to FitReference.
   static Result<RegressionTree> Fit(const data::Dataset& dataset,
                                     const std::vector<double>& targets,
-                                    const RegressionTreeConfig& config);
+                                    const RegressionTreeConfig& config,
+                                    const tree::SortedColumns* sorted = nullptr);
+
+  /// The retained naive trainer (per-node re-sorting SSE sweep) — the
+  /// executable specification Fit is property-tested against.
+  static Result<RegressionTree> FitReference(const data::Dataset& dataset,
+                                             const std::vector<double>& targets,
+                                             const RegressionTreeConfig& config);
 
   /// Predicted value for one instance.
   double Predict(std::span<const float> row) const;

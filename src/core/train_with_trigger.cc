@@ -36,9 +36,20 @@ Result<TriggerTrainingResult> TrainWithTrigger(
   std::vector<double> weights(dataset.num_rows(), 1.0);  // Algorithm 1 line 3
   double trigger_weight = 1.0;
 
+  // Sample weights never change the per-feature sort order, so the column
+  // sort is paid once here and shared across EVERY weight-boosting retrain.
+  // Validate the forest config first so a bad config fails before the sort,
+  // and skip the sort entirely when the reference trainer is selected.
+  TREEWM_RETURN_IF_ERROR(config.forest.Validate());
+  std::shared_ptr<const tree::SortedColumns> sorted;
+  if (!config.forest.use_reference_trainer) {
+    sorted = tree::SortedColumns::Build(dataset);
+  }
+
   forest::ForestConfig forest_config = config.forest;
-  TREEWM_ASSIGN_OR_RETURN(forest::RandomForest model,
-                          forest::RandomForest::Fit(dataset, weights, forest_config));
+  TREEWM_ASSIGN_OR_RETURN(
+      forest::RandomForest model,
+      forest::RandomForest::Fit(dataset, weights, forest_config, sorted));
 
   TriggerTrainingResult result{std::move(model)};
   for (size_t round = 0; round < config.max_boost_rounds; ++round) {
@@ -52,7 +63,8 @@ Result<TriggerTrainingResult> TrainWithTrigger(
     for (size_t idx : trigger_indices) weights[idx] = trigger_weight;
     ++result.boost_rounds;
     TREEWM_ASSIGN_OR_RETURN(
-        result.forest, forest::RandomForest::Fit(dataset, weights, forest_config));
+        result.forest,
+        forest::RandomForest::Fit(dataset, weights, forest_config, sorted));
   }
   result.converged = AllTreesMatchTrigger(result.forest, dataset, trigger_indices);
   result.final_trigger_weight = trigger_weight;

@@ -28,6 +28,11 @@ struct GridSearchConfig {
   ForestConfig forest_template;
   /// Seed for fold assignment and forest training.
   uint64_t seed = 7;
+  /// Parallelism across (max_depth × max_leaf_nodes) grid points: 0 uses the
+  /// process-global pool, 1 is serial. Per-point forest seeds are pre-drawn
+  /// in grid order and results land in fixed slots, so the accuracy table is
+  /// bit-identical at every thread count.
+  size_t num_threads = 0;
 };
 
 /// One evaluated grid point.

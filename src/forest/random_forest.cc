@@ -36,13 +36,20 @@ size_t FeaturesPerTree(double fraction, size_t d) {
 
 }  // namespace
 
-Result<RandomForest> RandomForest::Fit(const data::Dataset& dataset,
-                                       const std::vector<double>& weights,
-                                       const ForestConfig& config) {
+Result<RandomForest> RandomForest::Fit(
+    const data::Dataset& dataset, const std::vector<double>& weights,
+    const ForestConfig& config, std::shared_ptr<const tree::SortedColumns> sorted) {
   TREEWM_RETURN_IF_ERROR(config.Validate());
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot fit a forest on an empty dataset");
   }
+  // Checked here (not just per tree) so a bad weight vector fails before any
+  // column sort or thread fan-out happens.
+  if (!weights.empty() && weights.size() != dataset.num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("weights size %zu != rows %zu", weights.size(), dataset.num_rows()));
+  }
+  TREEWM_RETURN_IF_ERROR(tree::ValidateColumnsMatch(sorted.get(), dataset));
 
   const size_t d = dataset.num_features();
   const size_t features_per_tree = FeaturesPerTree(config.feature_fraction, d);
@@ -63,6 +70,12 @@ Result<RandomForest> RandomForest::Fit(const data::Dataset& dataset,
                                              {tree::TreeNode{-1, 0, -1, -1, +1}}, d)
                                              .MoveValue());
 
+  // One column sort per dataset, shared immutably across all workers; every
+  // tree's TrainerCore copies just its subset's presorted columns from it.
+  if (sorted == nullptr && !config.use_reference_trainer) {
+    sorted = tree::SortedColumns::Build(dataset);
+  }
+
   ThreadPool* pool = nullptr;
   std::unique_ptr<ThreadPool> local_pool;
   if (config.num_threads == 0) {
@@ -76,7 +89,11 @@ Result<RandomForest> RandomForest::Fit(const data::Dataset& dataset,
   Status first_error;
   ParallelFor(pool, config.num_trees, [&](size_t t) {
     Result<tree::DecisionTree> fitted =
-        tree::DecisionTree::Fit(dataset, weights, config.tree, subsets[t]);
+        config.use_reference_trainer
+            ? tree::DecisionTree::FitReference(dataset, weights, config.tree,
+                                               subsets[t])
+            : tree::DecisionTree::Fit(dataset, weights, config.tree, subsets[t],
+                                      sorted.get());
     if (fitted.ok()) {
       forest.trees_[t] = std::move(fitted).MoveValue();
     } else {

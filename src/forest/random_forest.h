@@ -37,6 +37,11 @@ struct ForestConfig {
   uint64_t seed = 1;
   /// Degrees of parallelism: 0 uses the process-global pool, 1 is serial.
   size_t num_threads = 0;
+  /// Fit member trees with the retained naive trainer
+  /// (DecisionTree::FitReference) instead of the sort-once engine. Slow;
+  /// exists so the bit-identical equivalence contract is testable end to
+  /// end through forest training (and as the bench baseline).
+  bool use_reference_trainer = false;
 
   Status Validate() const;
 };
@@ -46,9 +51,18 @@ class RandomForest {
  public:
   /// Trains `config.num_trees` trees on `dataset` with shared per-row
   /// `weights` (empty = all ones).
-  static Result<RandomForest> Fit(const data::Dataset& dataset,
-                                  const std::vector<double>& weights,
-                                  const ForestConfig& config);
+  ///
+  /// Training runs on the sort-once column engine: each feature column of
+  /// `dataset` is sorted once and the immutable SortedColumns is shared
+  /// across the ThreadPool workers (like FlatEnsemble images on the
+  /// inference side); each tree copies only its feature subset's columns.
+  /// Pass a prebuilt `sorted` to amortize the sort across many fits on the
+  /// same rows (weight-boosting rounds, grid-search points on one fold);
+  /// nullptr builds it internally.
+  static Result<RandomForest> Fit(
+      const data::Dataset& dataset, const std::vector<double>& weights,
+      const ForestConfig& config,
+      std::shared_ptr<const tree::SortedColumns> sorted = nullptr);
 
   /// Assembles a forest from pre-trained trees (Algorithm 1's interleave
   /// step). All trees must agree on num_features.

@@ -11,6 +11,7 @@
 #include "predict/batch_predictor.h"
 #include "predict/flat_cache.h"
 #include "tree/splitter.h"
+#include "tree/trainer_core.h"
 
 namespace treewm::tree {
 
@@ -32,13 +33,17 @@ Status TreeConfig::Validate() const {
 
 namespace {
 
-/// A frontier node awaiting expansion in best-first growth.
+/// A frontier node awaiting expansion in best-first growth. The sort-once
+/// engine addresses node membership as a range [begin, end) into the
+/// TrainerCore columns; the retained reference path owns an index vector.
 struct FrontierEntry {
   double gain;
   uint64_t sequence;  // deterministic FIFO tie-break
   int node_index;
   int depth;
-  std::vector<size_t> indices;
+  size_t begin;
+  size_t end;
+  std::vector<size_t> indices;  // reference path only (ranges otherwise)
   SplitCandidate split;
 };
 
@@ -49,12 +54,13 @@ struct FrontierCompare {
   }
 };
 
-}  // namespace
-
-Result<DecisionTree> DecisionTree::Fit(const data::Dataset& dataset,
-                                       const std::vector<double>& weights,
-                                       const TreeConfig& config,
-                                       const std::vector<int>& feature_subset) {
+/// Shared argument validation for both trainers; also resolves the feature
+/// sweep order (subset as given, else all features ascending).
+Status ValidateFitInputs(const data::Dataset& dataset,
+                         const std::vector<double>& weights,
+                         const TreeConfig& config,
+                         const std::vector<int>& feature_subset,
+                         std::vector<int>* features) {
   TREEWM_RETURN_IF_ERROR(config.Validate());
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot fit a tree on an empty dataset");
@@ -68,17 +74,135 @@ Result<DecisionTree> DecisionTree::Fit(const data::Dataset& dataset,
       return Status::InvalidArgument(StrFormat("feature %d out of range", f));
     }
   }
+  *features = feature_subset;
+  if (features->empty()) {
+    features->resize(dataset.num_features());
+    for (size_t j = 0; j < dataset.num_features(); ++j) {
+      (*features)[j] = static_cast<int>(j);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Fit(const data::Dataset& dataset,
+                                       const std::vector<double>& weights,
+                                       const TreeConfig& config,
+                                       const std::vector<int>& feature_subset,
+                                       const SortedColumns* sorted) {
+  std::vector<int> features;
+  TREEWM_RETURN_IF_ERROR(
+      ValidateFitInputs(dataset, weights, config, feature_subset, &features));
+  TREEWM_RETURN_IF_ERROR(ValidateColumnsMatch(sorted, dataset));
 
   const std::vector<double> unit_weights =
       weights.empty() ? std::vector<double>(dataset.num_rows(), 1.0)
                       : std::vector<double>();
   const std::vector<double>& w = weights.empty() ? unit_weights : weights;
 
-  std::vector<int> features = feature_subset;
-  if (features.empty()) {
-    features.resize(dataset.num_features());
-    for (size_t j = 0; j < dataset.num_features(); ++j) features[j] = static_cast<int>(j);
+  std::shared_ptr<const SortedColumns> owned_sorted;
+  if (sorted == nullptr) {
+    owned_sorted = SortedColumns::Build(dataset);
+    sorted = owned_sorted.get();
   }
+  TrainerCore core(*sorted, features, /*with_identity=*/false);
+
+  DecisionTree tree;
+  tree.num_features_ = dataset.num_features();
+  tree.feature_subset_ = feature_subset;
+
+  const size_t n = dataset.num_rows();
+  const int8_t* labels = dataset.labels().data();
+  const double* row_weights = w.data();
+
+  // Same accumulation order as Splitter::ComputeWeights over ascending rows.
+  ClassWeights root_weights;
+  for (size_t i = 0; i < n; ++i) root_weights.Add(labels[i], row_weights[i]);
+
+  TreeNode root;
+  root.label = root_weights.MajorityLabel();
+  tree.nodes_.push_back(root);
+
+  // Best-first frontier. With max_leaf_nodes == -1 the expansion order does
+  // not change the final tree (greedy splits are node-local), so a single
+  // code path serves both growth modes. Queued candidates stay valid while
+  // other nodes are expanded: node ranges are disjoint, so partitions never
+  // disturb a sibling's columns.
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, FrontierCompare>
+      frontier;
+  uint64_t sequence = 0;
+
+  auto try_enqueue = [&](int node_index, int depth, size_t begin, size_t end,
+                         const ClassWeights& node_weights) {
+    if (config.max_depth != -1 && depth >= config.max_depth) return;
+    if (end - begin < config.min_samples_split) return;
+    if (node_weights.positive <= 0.0 || node_weights.negative <= 0.0) return;  // pure
+    if (end - begin < 2) return;
+    std::optional<SplitCandidate> split;
+    for (size_t slot = 0; slot < core.num_slots(); ++slot) {
+      BestSplitOnColumn(core.Column(slot, begin, end), core.feature_at(slot),
+                        labels, row_weights, config.criterion, node_weights,
+                        config.min_samples_leaf, &split);
+    }
+    if (!split) return;
+    frontier.push(FrontierEntry{split->gain, sequence++, node_index, depth, begin,
+                                end, {}, *split});
+  };
+
+  try_enqueue(0, 0, 0, n, root_weights);
+
+  int64_t splits_remaining = config.max_leaf_nodes == -1
+                                 ? std::numeric_limits<int64_t>::max()
+                                 : config.max_leaf_nodes - 1;
+
+  while (!frontier.empty() && splits_remaining > 0) {
+    const FrontierEntry entry = frontier.top();
+    frontier.pop();
+    --splits_remaining;
+
+    const size_t mid = core.ApplySplit(entry.begin, entry.end,
+                                       core.SlotOf(entry.split.feature),
+                                       entry.split.left_count);
+    assert(mid > entry.begin && mid < entry.end);
+
+    const int left_index = static_cast<int>(tree.nodes_.size());
+    TreeNode left_node;
+    left_node.label = entry.split.left_weights.MajorityLabel();
+    tree.nodes_.push_back(left_node);
+
+    const int right_index = static_cast<int>(tree.nodes_.size());
+    TreeNode right_node;
+    right_node.label = entry.split.right_weights.MajorityLabel();
+    tree.nodes_.push_back(right_node);
+
+    TreeNode& parent = tree.nodes_[static_cast<size_t>(entry.node_index)];
+    parent.feature = entry.split.feature;
+    parent.threshold = entry.split.threshold;
+    parent.left = left_index;
+    parent.right = right_index;
+
+    try_enqueue(left_index, entry.depth + 1, entry.begin, mid,
+                entry.split.left_weights);
+    try_enqueue(right_index, entry.depth + 1, mid, entry.end,
+                entry.split.right_weights);
+  }
+
+  return tree;
+}
+
+Result<DecisionTree> DecisionTree::FitReference(const data::Dataset& dataset,
+                                                const std::vector<double>& weights,
+                                                const TreeConfig& config,
+                                                const std::vector<int>& feature_subset) {
+  std::vector<int> features;
+  TREEWM_RETURN_IF_ERROR(
+      ValidateFitInputs(dataset, weights, config, feature_subset, &features));
+
+  const std::vector<double> unit_weights =
+      weights.empty() ? std::vector<double>(dataset.num_rows(), 1.0)
+                      : std::vector<double>();
+  const std::vector<double>& w = weights.empty() ? unit_weights : weights;
 
   Splitter splitter(dataset, w, config.criterion);
 
@@ -94,9 +218,6 @@ Result<DecisionTree> DecisionTree::Fit(const data::Dataset& dataset,
   root.label = root_weights.MajorityLabel();
   tree.nodes_.push_back(root);
 
-  // Best-first frontier. With max_leaf_nodes == -1 the expansion order does
-  // not change the final tree (greedy splits are node-local), so a single
-  // code path serves both growth modes.
   std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, FrontierCompare>
       frontier;
   uint64_t sequence = 0;
@@ -109,7 +230,7 @@ Result<DecisionTree> DecisionTree::Fit(const data::Dataset& dataset,
     std::optional<SplitCandidate> split = splitter.FindBestSplit(
         indices, features, node_weights, config.min_samples_leaf);
     if (!split) return;
-    frontier.push(FrontierEntry{split->gain, sequence++, node_index, depth,
+    frontier.push(FrontierEntry{split->gain, sequence++, node_index, depth, 0, 0,
                                 std::move(indices), *split});
   };
 

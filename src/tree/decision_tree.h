@@ -18,6 +18,7 @@
 #include "data/dataset.h"
 #include "predict/flat_cache.h"
 #include "tree/criterion.h"
+#include "tree/sorted_columns.h"
 
 namespace treewm::tree {
 
@@ -52,10 +53,25 @@ class DecisionTree {
  public:
   /// Trains a tree on `dataset` with per-row `weights` (empty means all 1.0),
   /// restricted to splitting on `feature_subset` (empty means all features).
+  ///
+  /// Runs on the sort-once column-index engine (sorted_columns.h +
+  /// trainer_core.h). Pass a prebuilt `sorted` for the same dataset to
+  /// amortize the one-time column sort across many trees (forests, boosting
+  /// rounds, weight-boosting retrains); nullptr builds it internally.
+  /// Bit-identical to FitReference by the trainer equivalence contract.
   static Result<DecisionTree> Fit(const data::Dataset& dataset,
                                   const std::vector<double>& weights,
                                   const TreeConfig& config,
-                                  const std::vector<int>& feature_subset = {});
+                                  const std::vector<int>& feature_subset = {},
+                                  const SortedColumns* sorted = nullptr);
+
+  /// The retained naive trainer (per-node re-sorting Splitter) — the
+  /// executable specification Fit is property-tested against, kept the way
+  /// predict/reference.h keeps the scalar inference loops.
+  static Result<DecisionTree> FitReference(const data::Dataset& dataset,
+                                           const std::vector<double>& weights,
+                                           const TreeConfig& config,
+                                           const std::vector<int>& feature_subset = {});
 
   /// Predicts the label (+1/-1) for one instance.
   int Predict(std::span<const float> row) const;

@@ -13,8 +13,6 @@ struct Entry {
   double weight;
 };
 
-constexpr double kMinGain = 1e-12;  // guards against FP-noise "improvements"
-
 }  // namespace
 
 Splitter::Splitter(const data::Dataset& dataset, const std::vector<double>& weights,
@@ -43,8 +41,13 @@ std::optional<SplitCandidate> Splitter::FindBestSplit(
       entries[i] = {dataset_.At(idx, f), static_cast<int8_t>(dataset_.Label(idx)),
                     weights_[idx]};
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry& a, const Entry& b) { return a.value < b.value; });
+    // Stable: value ties keep `indices` order. This pins the accumulation
+    // order of tied runs (a *specified* contract, where plain sort left it
+    // to the introsort permutation), and it is the order the presorted
+    // engine reproduces — required for bit-identical FP sums when weights
+    // differ within a tie run.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) { return a.value < b.value; });
     if (entries.front().value == entries.back().value) continue;  // constant feature
 
     ClassWeights left;
@@ -58,7 +61,7 @@ std::optional<SplitCandidate> Splitter::FindBestSplit(
       if (entries[i].value == entries[i + 1].value) continue;
       if (left_count < min_samples_leaf || n - left_count < min_samples_leaf) continue;
       const double gain = ImpurityDecrease(criterion_, node_weights, left, right);
-      if (gain > kMinGain && (!best || gain > best->gain)) {
+      if (gain > kMinSplitGain && (!best || gain > best->gain)) {
         SplitCandidate candidate;
         candidate.feature = feature;
         // Midpoint threshold; guaranteed >= left value and < right value.

@@ -1,4 +1,14 @@
-// Exact best-split search over sorted feature values.
+// Exact best-split search over sorted feature values — the RETAINED NAIVE
+// REFERENCE for the sort-once training engine.
+//
+// This is the original per-node re-sorting splitter: every FindBestSplit
+// call gathers the node's (value, label, weight) triples and sorts them,
+// O(n log n) per (node, feature). Production training runs on the presorted
+// engine (sorted_columns.h + trainer_core.h); this class is kept — like
+// predict/reference.h on the inference side — as the executable
+// specification the property tests compare against (DecisionTree::Fit must
+// produce bit-identical trees to DecisionTree::FitReference, which uses
+// this splitter).
 
 #ifndef TREEWM_TREE_SPLITTER_H_
 #define TREEWM_TREE_SPLITTER_H_
@@ -10,6 +20,11 @@
 #include "tree/criterion.h"
 
 namespace treewm::tree {
+
+/// Minimum weighted impurity decrease for a split to count — guards against
+/// FP-noise "improvements". Shared by the naive reference and the presorted
+/// sweep (trainer_core.cc) so their gain gates are identical.
+inline constexpr double kMinSplitGain = 1e-12;
 
 /// A candidate axis-aligned split "feature <= threshold".
 struct SplitCandidate {
@@ -35,6 +50,8 @@ class Splitter {
   ///
   /// Thresholds are midpoints between consecutive distinct feature values
   /// (the sklearn convention), so they never coincide with a data value.
+  /// Value ties are swept in `indices` order (stable sort), which is the
+  /// documented accumulation-order contract the presorted engine matches.
   std::optional<SplitCandidate> FindBestSplit(const std::vector<size_t>& indices,
                                               const std::vector<int>& features,
                                               const ClassWeights& node_weights,

@@ -70,10 +70,19 @@ TEST(RegressionTreeTest, SetLeafValueValidates) {
 }
 
 TEST(RegressionTreeTest, ValidatesInputs) {
+  // Targets size != num_rows is InvalidArgument (never an out-of-range read
+  // in the sweep), for the sort-once engine and the retained reference alike.
   auto data = data::synthetic::MakeBlobs(4, 20, 2, 1.0);
-  EXPECT_FALSE(RegressionTree::Fit(data, std::vector<double>(5, 0.0),
-                                   RegressionTreeConfig{})
-                   .ok());
+  for (size_t bad_size : {0u, 5u, 21u}) {
+    const std::vector<double> targets(bad_size, 0.0);
+    auto fast = RegressionTree::Fit(data, targets, RegressionTreeConfig{});
+    ASSERT_FALSE(fast.ok()) << "targets size " << bad_size;
+    EXPECT_EQ(fast.status().code(), StatusCode::kInvalidArgument);
+    auto reference =
+        RegressionTree::FitReference(data, targets, RegressionTreeConfig{});
+    ASSERT_FALSE(reference.ok()) << "targets size " << bad_size;
+    EXPECT_EQ(reference.status().code(), StatusCode::kInvalidArgument);
+  }
   data::Dataset empty(2);
   EXPECT_FALSE(RegressionTree::Fit(empty, {}, RegressionTreeConfig{}).ok());
 }

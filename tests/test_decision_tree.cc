@@ -60,8 +60,19 @@ TEST(DecisionTreeTest, RejectsEmptyDataset) {
 }
 
 TEST(DecisionTreeTest, RejectsBadWeightVector) {
+  // Non-empty weights with size != num_rows fail with InvalidArgument
+  // before training (never index out of range in the splitter); both the
+  // sort-once engine and the retained reference enforce it.
   data::Dataset d = Separable();
-  EXPECT_FALSE(DecisionTree::Fit(d, std::vector<double>{1.0}, TreeConfig{}).ok());
+  for (size_t bad_size : {1u, 3u, 5u}) {
+    const std::vector<double> w(bad_size, 1.0);
+    auto fast = DecisionTree::Fit(d, w, TreeConfig{});
+    ASSERT_FALSE(fast.ok()) << "weights size " << bad_size;
+    EXPECT_EQ(fast.status().code(), StatusCode::kInvalidArgument);
+    auto reference = DecisionTree::FitReference(d, w, TreeConfig{});
+    ASSERT_FALSE(reference.ok()) << "weights size " << bad_size;
+    EXPECT_EQ(reference.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(DecisionTreeTest, RejectsOutOfRangeFeatureSubset) {

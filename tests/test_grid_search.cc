@@ -75,6 +75,37 @@ TEST(GridSearchTest, DeepTreesWinOnXor) {
   EXPECT_EQ(outcome.best.max_depth, -1);
 }
 
+TEST(GridSearchTest, AccuracyTableIsThreadCountInvariant) {
+  // Grid points fan out across the pool with pre-drawn seeds and fixed
+  // result slots: the evaluated table, best config and best accuracy must
+  // be bit-identical at every thread count.
+  auto d = data::synthetic::MakeBlobs(8, 240, 5, 1.2);
+  GridSearchConfig config;
+  config.max_depth_grid = {2, 4, -1};
+  config.max_leaf_nodes_grid = {6, -1};
+  config.num_folds = 3;
+  config.num_threads = 1;
+  auto serial = GridSearch(d, 5, config).MoveValue();
+  ASSERT_EQ(serial.evaluated.size(), 6u);
+  for (size_t threads : {2u, 4u, 0u}) {  // 0 = process-global pool
+    config.num_threads = threads;
+    auto parallel = GridSearch(d, 5, config).MoveValue();
+    ASSERT_EQ(parallel.evaluated.size(), serial.evaluated.size());
+    for (size_t p = 0; p < serial.evaluated.size(); ++p) {
+      EXPECT_EQ(parallel.evaluated[p].config.max_depth,
+                serial.evaluated[p].config.max_depth);
+      EXPECT_EQ(parallel.evaluated[p].config.max_leaf_nodes,
+                serial.evaluated[p].config.max_leaf_nodes);
+      // Bit equality, not NEAR: same forests, same fold sums, same order.
+      EXPECT_EQ(parallel.evaluated[p].cv_accuracy, serial.evaluated[p].cv_accuracy)
+          << "threads=" << threads << " point=" << p;
+    }
+    EXPECT_EQ(parallel.best_accuracy, serial.best_accuracy);
+    EXPECT_EQ(parallel.best.max_depth, serial.best.max_depth);
+    EXPECT_EQ(parallel.best.max_leaf_nodes, serial.best.max_leaf_nodes);
+  }
+}
+
 TEST(GridSearchTest, RejectsEmptyGrid) {
   auto d = data::synthetic::MakeBlobs(7, 50, 3, 1.0);
   GridSearchConfig config;

@@ -133,6 +133,25 @@ TEST(RandomForestTest, WeightsReachEveryTree) {
   for (int v : forest.PredictAll(d.Row(0))) EXPECT_EQ(v, +1);
 }
 
+TEST(RandomForestTest, RejectsBadWeightVectorBeforeTraining) {
+  // A non-empty weight vector whose size != num_rows must fail fast with
+  // InvalidArgument at the forest level (before any column sort or thread
+  // fan-out), never index out of range inside the splitter.
+  data::Dataset d(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(d.AddRow(std::vector<float>{0.1f * static_cast<float>(i), 0.5f},
+                         i % 2 == 0 ? +1 : -1)
+                    .ok());
+  }
+  ForestConfig config;
+  config.num_trees = 3;
+  for (size_t bad_size : {1u, 9u, 11u}) {
+    auto result = RandomForest::Fit(d, std::vector<double>(bad_size, 1.0), config);
+    ASSERT_FALSE(result.ok()) << "weights size " << bad_size;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(RandomForestTest, FromTreesValidates) {
   EXPECT_FALSE(RandomForest::FromTrees({}).ok());
   auto t1 = tree::DecisionTree::FromNodes({tree::TreeNode{-1, 0, -1, -1, +1}}, 2)

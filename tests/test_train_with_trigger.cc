@@ -101,6 +101,34 @@ TEST(TrainWithTriggerTest, ValidatesInputs) {
   EXPECT_FALSE(TrainWithTrigger(data, {0}, config).ok());
 }
 
+TEST(TrainWithTriggerTest, ThreadCountInvariantBitForBit) {
+  // End-to-end through the sort-once engine: the whole weight-boosting loop
+  // (shared SortedColumns reused across every retrain) must produce the
+  // same forest, round count and final weight at every thread count.
+  auto data = data::synthetic::MakeBlobs(30, 350, 6, 0.9);
+  Rng rng(31);
+  auto trigger = data::SampleTriggerIndices(data, 6, &rng).MoveValue();
+  data::Dataset flipped = data;
+  for (size_t idx : trigger) flipped.SetLabel(idx, -data.Label(idx));
+
+  TriggerTrainingConfig config = SmallConfig(6, 32);
+  config.forest.num_threads = 1;
+  auto serial = TrainWithTrigger(flipped, trigger, config).MoveValue();
+  for (size_t threads : {2u, 4u}) {
+    config.forest.num_threads = threads;
+    auto parallel = TrainWithTrigger(flipped, trigger, config).MoveValue();
+    EXPECT_EQ(parallel.converged, serial.converged);
+    EXPECT_EQ(parallel.boost_rounds, serial.boost_rounds);
+    EXPECT_DOUBLE_EQ(parallel.final_trigger_weight, serial.final_trigger_weight);
+    ASSERT_EQ(parallel.forest.num_trees(), serial.forest.num_trees());
+    for (size_t t = 0; t < serial.forest.num_trees(); ++t) {
+      EXPECT_TRUE(
+          parallel.forest.trees()[t].StructurallyEqual(serial.forest.trees()[t]))
+          << "threads=" << threads << " tree=" << t;
+    }
+  }
+}
+
 TEST(AllTreesMatchTriggerTest, DetectsDeviations) {
   auto data = data::synthetic::MakeBlobs(16, 100, 3, 3.0);
   Rng rng(17);
