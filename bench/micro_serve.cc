@@ -1,0 +1,228 @@
+// Micro-benchmarks: the fault-tolerant serving front-end under load.
+//
+// The open-loop harness drives Poisson arrivals at a fixed offered rate —
+// requests keep arriving whether or not the server keeps up, like real
+// clients — sweeping offered rate (as a fraction of the measured max
+// sustainable throughput) x batch delay. Each run reports:
+//
+//   p50_us / p99_us    completion latency percentiles over served requests
+//   throughput_rps     requests actually served per second
+//   shed_rate          fraction of requests refused (ResourceExhausted)
+//   offered_rps        the arrival rate driven at the front door
+//
+// The 2x-overload rows (rate_pct = 200) are the robustness gate: the
+// front-end must shed (shed_rate > 0) instead of letting latency grow
+// without bound, and the requests it does serve must stay fast.
+//
+// Machine-readable output convention (see bench/README.md):
+//   ./micro_serve --benchmark_out=BENCH_serve.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "predict/flat_ensemble.h"
+#include "serve/serving_front_end.h"
+
+namespace {
+
+using namespace treewm;
+using std::chrono::steady_clock;
+
+const bench::ForestFixture& ServeFixture() {
+  return bench::CachedForestFixture(11, 4000, 16, 1.5, 32, 7);
+}
+
+std::shared_ptr<const predict::FlatEnsemble> ServeEnsemble() {
+  static auto* flat = new std::shared_ptr<const predict::FlatEnsemble>(
+      std::make_shared<predict::FlatEnsemble>(
+          predict::FlatEnsemble::FromClassificationTrees(
+              ServeFixture().forest.trees())));
+  return *flat;
+}
+
+serve::ServingOptions LoadTestOptions(int batch_delay_us) {
+  serve::ServingOptions options;
+  options.queue.capacity = 256;
+  options.queue.shed_high_water = 192;  // shed before the queue can fill
+  options.queue.policy = serve::OverflowPolicy::kReject;
+  options.batch.max_batch_rows = 64;
+  options.batch.max_batch_delay = std::chrono::microseconds(batch_delay_us);
+  options.predictor.num_threads = 2;
+  return options;
+}
+
+/// Max sustainable rate through the full stack (closed loop, no pacing),
+/// measured once: the offered-rate sweep is expressed relative to this so
+/// "2x overload" means the same thing on any machine.
+double BaseRatePerSec() {
+  static const double rate = [] {
+    const auto& fx = ServeFixture();
+    auto created = serve::ServingFrontEnd::Create(ServeEnsemble(),
+                                                  LoadTestOptions(100));
+    auto serving = std::move(created).MoveValue();
+    constexpr size_t kWarm = 500, kMeasured = 4000;
+    std::vector<std::future<Result<serve::PredictResult>>> futures;
+    futures.reserve(kWarm + kMeasured);
+    for (size_t i = 0; i < kWarm; ++i) {
+      futures.push_back(serving->SubmitPredict(fx.data.Row(i % fx.data.num_rows())));
+    }
+    for (auto& f : futures) (void)f.get();
+    futures.clear();
+    const auto start = steady_clock::now();
+    for (size_t i = 0; i < kMeasured; ++i) {
+      futures.push_back(serving->SubmitPredict(fx.data.Row(i % fx.data.num_rows())));
+    }
+    size_t served = 0;
+    for (auto& f : futures) served += f.get().ok() ? 1 : 0;
+    const std::chrono::duration<double> elapsed = steady_clock::now() - start;
+    serving->Shutdown();
+    return static_cast<double>(std::max<size_t>(served, 1)) / elapsed.count();
+  }();
+  return rate;
+}
+
+/// One open-loop run: `num_requests` Poisson arrivals at `offered_rps`.
+struct OpenLoopOutcome {
+  std::vector<double> latencies_us;  // served requests only
+  size_t shed = 0;
+  double elapsed_s = 0;
+};
+
+OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
+                            size_t num_requests, uint64_t seed) {
+  const auto& fx = ServeFixture();
+  std::vector<std::future<Result<serve::PredictResult>>> futures(num_requests);
+  std::vector<steady_clock::time_point> submitted(num_requests);
+  std::atomic<size_t> produced{0};
+
+  // Collector: takes completions in submission order (the pipeline is FIFO)
+  // and timestamps each resolve, so latency covers queue + batch + compute.
+  std::vector<double> latencies_us;
+  latencies_us.reserve(num_requests);
+  size_t shed = 0;
+  std::thread collector([&] {
+    for (size_t i = 0; i < num_requests; ++i) {
+      while (produced.load(std::memory_order_acquire) <= i) {
+        std::this_thread::yield();
+      }
+      auto result = futures[i].get();
+      const auto now = steady_clock::now();
+      if (result.ok()) {
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(now - submitted[i]).count());
+      } else {
+        ++shed;
+      }
+    }
+  });
+
+  // Producer: exponential inter-arrival gaps, absolute schedule (open loop —
+  // a slow server does NOT slow the arrivals; that is the whole point).
+  Rng rng(seed);
+  const auto start = steady_clock::now();
+  auto next_arrival = start;
+  for (size_t i = 0; i < num_requests; ++i) {
+    while (steady_clock::now() < next_arrival) {
+      // Spin: gaps are microseconds, far below sleep_for resolution.
+    }
+    submitted[i] = steady_clock::now();
+    futures[i] = serving->SubmitPredict(fx.data.Row(i % fx.data.num_rows()));
+    produced.store(i + 1, std::memory_order_release);
+    const double gap_s = -std::log(1.0 - rng.UniformReal()) / offered_rps;
+    next_arrival += std::chrono::duration_cast<steady_clock::duration>(
+        std::chrono::duration<double>(gap_s));
+  }
+  collector.join();
+
+  OpenLoopOutcome outcome;
+  outcome.latencies_us = std::move(latencies_us);
+  outcome.shed = shed;
+  outcome.elapsed_s =
+      std::chrono::duration<double>(steady_clock::now() - start).count();
+  return outcome;
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(values->size() - 1) + 0.5);
+  std::nth_element(values->begin(), values->begin() + index, values->end());
+  return (*values)[index];
+}
+
+// args: {offered rate as % of measured max, batch delay in µs}
+void BM_ServeOpenLoopPoisson(benchmark::State& state) {
+  const double offered_rps =
+      BaseRatePerSec() * static_cast<double>(state.range(0)) / 100.0;
+  const size_t num_requests = 1500;
+  OpenLoopOutcome outcome;
+  for (auto _ : state) {
+    auto created = serve::ServingFrontEnd::Create(
+        ServeEnsemble(), LoadTestOptions(static_cast<int>(state.range(1))));
+    auto serving = std::move(created).MoveValue();
+    outcome = RunOpenLoop(serving.get(), offered_rps, num_requests,
+                          /*seed=*/1234 + static_cast<uint64_t>(state.range(0)));
+    serving->Shutdown();
+  }
+  const size_t served = outcome.latencies_us.size();
+  state.counters["offered_rps"] = offered_rps;
+  state.counters["throughput_rps"] =
+      outcome.elapsed_s > 0 ? static_cast<double>(served) / outcome.elapsed_s : 0;
+  state.counters["shed_rate"] =
+      static_cast<double>(outcome.shed) / static_cast<double>(num_requests);
+  state.counters["p50_us"] = Percentile(&outcome.latencies_us, 0.50);
+  state.counters["p99_us"] = Percentile(&outcome.latencies_us, 0.99);
+  state.SetItemsProcessed(static_cast<int64_t>(served) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeOpenLoopPoisson)
+    ->ArgNames({"rate_pct", "delay_us"})
+    ->Args({50, 0})
+    ->Args({50, 200})
+    ->Args({50, 1000})
+    ->Args({100, 0})
+    ->Args({100, 200})
+    ->Args({100, 1000})
+    ->Args({200, 0})    // 2x overload: the shed gate
+    ->Args({200, 200})
+    ->Args({200, 1000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Closed-loop single-client round trip: the latency floor of the stack
+// (queue hop + batcher wait + one-row batch + promise resolution).
+void BM_ServeSingleClientRoundTrip(benchmark::State& state) {
+  const auto& fx = ServeFixture();
+  auto created = serve::ServingFrontEnd::Create(
+      ServeEnsemble(), LoadTestOptions(static_cast<int>(state.range(0))));
+  auto serving = std::move(created).MoveValue();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = serving->Predict(fx.data.Row(i % fx.data.num_rows()));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  serving->Shutdown();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeSingleClientRoundTrip)
+    ->ArgNames({"delay_us"})
+    ->Arg(0)
+    ->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

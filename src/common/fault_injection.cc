@@ -1,0 +1,96 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace treewm {
+
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  Rng rng;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+
+  explicit SiteState(const FaultSpec& s) : spec(s), rng(s.seed) {}
+};
+
+// Armed-site registry. The hot path never touches it: g_armed_sites gates
+// everything, and it is only nonzero between Arm and Disarm/Reset in tests.
+std::atomic<size_t> g_armed_sites{0};
+std::mutex g_mutex;
+// std::map keeps iteration deterministic for Reset; transparent compare
+// lets Fire look up by string_view without allocating.
+std::map<std::string, SiteState, std::less<>>& Registry() {
+  static auto* registry = new std::map<std::string, SiteState, std::less<>>();
+  return *registry;
+}
+
+}  // namespace
+
+bool FaultInjection::Enabled() {
+  return g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+bool FaultInjection::Fire(std::string_view site) {
+  std::chrono::nanoseconds stall{0};
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = Registry().find(site);
+    if (it == Registry().end()) return false;
+    SiteState& state = it->second;
+    const uint64_t hit = ++state.hits;
+    if (hit <= state.spec.skip_first) return false;
+    if (state.fires >= state.spec.max_fires) return false;
+    if (state.spec.probability < 1.0 && !state.rng.Bernoulli(state.spec.probability)) {
+      return false;
+    }
+    ++state.fires;
+    stall = state.spec.stall;
+    fired = true;
+  }
+  // Stall outside the lock: a stalling site must not serialize every other
+  // site's hits behind it.
+  if (stall.count() > 0) std::this_thread::sleep_for(stall);
+  return fired;
+}
+
+void FaultInjection::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto [it, inserted] = Registry().insert_or_assign(site, SiteState(spec));
+  (void)it;
+  if (inserted) g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjection::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (Registry().erase(site) > 0) {
+    g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_sites.fetch_sub(Registry().size(), std::memory_order_relaxed);
+  Registry().clear();
+}
+
+uint64_t FaultInjection::HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjection::FireCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+}  // namespace treewm

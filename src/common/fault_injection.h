@@ -1,0 +1,112 @@
+// Process-wide, test-scoped fault-injection registry.
+//
+// Concurrency code is only as robust as the schedules it has survived.
+// This registry lets tests force the schedules that never happen on a quiet
+// machine — worker stalls, queue-full races, mid-batch shutdown — through
+// named sites compiled into the production paths:
+//
+//   if (TREEWM_FAULT_FIRED("serve.admission.full")) { ...forced-full path... }
+//
+// A site is inert until a test arms it with a FaultSpec (probability- or
+// sequence-triggered, seeded RNG, optional stall). The disarmed fast path is
+// one relaxed atomic load shared by every site; defining
+// TREEWM_DISABLE_FAULT_INJECTION compiles sites out entirely (the macro
+// folds to `false`), so release builds can remove even that load.
+//
+// Firing decisions are deterministic: per-site hit counters and a seeded
+// per-site RNG make the Nth hit of a site fire (or not) identically on
+// every run regardless of wall-clock time. Determinism across *threads*
+// is up to the test: arm sequence-triggered specs on sites hit by a single
+// thread, or assert schedule-invariant properties (which is exactly what
+// the serving determinism contract requires).
+
+#ifndef TREEWM_COMMON_FAULT_INJECTION_H_
+#define TREEWM_COMMON_FAULT_INJECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace treewm {
+
+/// When and how an armed site fires. Eligibility: hits (1-based) in
+/// (skip_first, skip_first + max_fires] windows are candidates; each
+/// candidate then passes a Bernoulli(probability) draw from the seeded
+/// per-site RNG. Defaults fire on every hit.
+struct FaultSpec {
+  /// Per-eligible-hit firing probability (1.0 = always).
+  double probability = 1.0;
+  /// Number of initial hits that never fire (sequence triggering: "fire on
+  /// the 3rd submit" = skip_first 2, max_fires 1).
+  uint64_t skip_first = 0;
+  /// Cap on total fires (UINT64_MAX = unlimited).
+  uint64_t max_fires = UINT64_MAX;
+  /// Wall-clock stall applied (on the hitting thread) each time the site
+  /// fires — simulates a descheduled worker / slow disk / GC pause.
+  std::chrono::nanoseconds stall{0};
+  /// Seed for the per-site RNG used by `probability` draws.
+  uint64_t seed = 0x5EEDFA017ULL;
+};
+
+class FaultInjection {
+ public:
+  /// True when any site is armed — the only check on the disarmed fast path.
+  static bool Enabled();
+
+  /// Registers a hit at `site`; returns true (after applying the spec's
+  /// stall) when the armed spec fires. Unarmed sites never fire. Prefer the
+  /// TREEWM_FAULT_FIRED macro, which short-circuits via Enabled() and can
+  /// be compiled out.
+  static bool Fire(std::string_view site);
+
+  /// Arms `site` with `spec`, replacing any previous arming (hit/fire
+  /// counters reset).
+  static void Arm(const std::string& site, const FaultSpec& spec);
+
+  /// Disarms one site (no-op when not armed).
+  static void Disarm(const std::string& site);
+
+  /// Disarms every site — test teardown.
+  static void Reset();
+
+  /// Hits observed at `site` since it was armed (0 when not armed).
+  static uint64_t HitCount(const std::string& site);
+
+  /// Fires triggered at `site` since it was armed (0 when not armed).
+  static uint64_t FireCount(const std::string& site);
+};
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor, so a failing ASSERT cannot leak an armed fault into the next
+/// test.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, const FaultSpec& spec) : site_(std::move(site)) {
+    FaultInjection::Arm(site_, spec);
+  }
+  ~ScopedFault() { FaultInjection::Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  uint64_t hits() const { return FaultInjection::HitCount(site_); }
+  uint64_t fires() const { return FaultInjection::FireCount(site_); }
+
+ private:
+  std::string site_;
+};
+
+}  // namespace treewm
+
+/// The injection-site macro threaded through production code. Evaluates to
+/// false at zero cost when TREEWM_DISABLE_FAULT_INJECTION is defined, and to
+/// one relaxed atomic load when no fault is armed.
+#ifdef TREEWM_DISABLE_FAULT_INJECTION
+#define TREEWM_FAULT_FIRED(site) false
+#else
+#define TREEWM_FAULT_FIRED(site) \
+  (::treewm::FaultInjection::Enabled() && ::treewm::FaultInjection::Fire(site))
+#endif
+
+#endif  // TREEWM_COMMON_FAULT_INJECTION_H_

@@ -50,6 +50,86 @@ JsonValue::Object& JsonValue::AsObject() {
   return object_;
 }
 
+namespace {
+
+const char* TypeName(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return "bool";
+    case JsonValue::Type::kNumber:
+      return "number";
+    case JsonValue::Type::kString:
+      return "string";
+    case JsonValue::Type::kArray:
+      return "array";
+    case JsonValue::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<bool> JsonValue::ToBool() const {
+  if (!is_bool()) {
+    return Status::ParseError(StrFormat("expected bool, got %s", TypeName(type_)));
+  }
+  return bool_;
+}
+
+Result<double> JsonValue::ToDouble() const {
+  if (!is_number()) {
+    return Status::ParseError(StrFormat("expected number, got %s", TypeName(type_)));
+  }
+  return number_;
+}
+
+Result<int64_t> JsonValue::ToInt64() const {
+  if (!is_number()) {
+    return Status::ParseError(StrFormat("expected number, got %s", TypeName(type_)));
+  }
+  // Reject NaN/inf and magnitudes llround cannot represent; 2^63 is exactly
+  // representable as double, so the open upper bound is exact.
+  if (!(number_ >= -9223372036854775808.0 && number_ < 9223372036854775808.0)) {
+    return Status::ParseError(StrFormat("number %g out of int64 range", number_));
+  }
+  return static_cast<int64_t>(std::llround(number_));
+}
+
+Result<int64_t> JsonValue::GetInt64(std::string_view key) const {
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* value, Get(key));
+  Result<int64_t> converted = value->ToInt64();
+  if (!converted.ok()) {
+    return Status::ParseError(StrFormat("key '%.*s': %s",
+                                        static_cast<int>(key.size()), key.data(),
+                                        converted.status().message().c_str()));
+  }
+  return converted;
+}
+
+Result<double> JsonValue::GetDouble(std::string_view key) const {
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* value, Get(key));
+  Result<double> converted = value->ToDouble();
+  if (!converted.ok()) {
+    return Status::ParseError(StrFormat("key '%.*s': %s",
+                                        static_cast<int>(key.size()), key.data(),
+                                        converted.status().message().c_str()));
+  }
+  return converted;
+}
+
+Result<const JsonValue*> JsonValue::GetArray(std::string_view key) const {
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* value, Get(key));
+  if (!value->is_array()) {
+    return Status::ParseError(StrFormat("key '%.*s': expected array, got %s",
+                                        static_cast<int>(key.size()), key.data(),
+                                        TypeName(value->type_)));
+  }
+  return value;
+}
+
 const JsonValue* JsonValue::Find(std::string_view key) const {
   if (!is_object()) return nullptr;
   auto it = object_.find(std::string(key));

@@ -66,11 +66,26 @@ class JsonValue {
   const Object& AsObject() const;
   Object& AsObject();
 
+  /// Checked conversions for untrusted documents (model files, bundles):
+  /// ParseError instead of an assert on type mismatch. ToInt64 also rejects
+  /// non-finite numbers and values outside int64 range — a corrupt file must
+  /// fail closed, not feed llround undefined behavior.
+  Result<bool> ToBool() const;
+  Result<double> ToDouble() const;
+  Result<int64_t> ToInt64() const;
+
   /// Object field lookup; returns nullptr when absent or not an object.
   const JsonValue* Find(std::string_view key) const;
 
   /// Object field lookup with error status when missing.
   Result<const JsonValue*> Get(std::string_view key) const;
+
+  /// Typed object lookups: Get + checked conversion in one step, with the
+  /// field name in the error message.
+  Result<int64_t> GetInt64(std::string_view key) const;
+  Result<double> GetDouble(std::string_view key) const;
+  /// Get + must-be-array check; returns the array-typed node.
+  Result<const JsonValue*> GetArray(std::string_view key) const;
 
   /// Inserts/overwrites an object field. Must be an object.
   void Set(std::string key, JsonValue value);

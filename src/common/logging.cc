@@ -39,6 +39,16 @@ void Log(LogLevel level, const std::string& message) {
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 
+bool ShouldLogEveryN(LogEveryNState* state, uint64_t n, uint64_t* suppressed) {
+  if (n < 1) n = 1;
+  const uint64_t count = state->count.fetch_add(1, std::memory_order_relaxed);
+  if (count % n != 0) return false;
+  // count is the pre-increment value: 0 on the first-ever call (nothing
+  // suppressed yet), a multiple of n afterwards (n - 1 calls swallowed).
+  *suppressed = count == 0 ? 0 : n - 1;
+  return true;
+}
+
 void LogDebug(const std::string& message) { Log(LogLevel::kDebug, message); }
 void LogInfo(const std::string& message) { Log(LogLevel::kInfo, message); }
 void LogWarning(const std::string& message) { Log(LogLevel::kWarning, message); }

@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "parse_error";
     case StatusCode::kTimeout:
       return "timeout";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -73,6 +75,9 @@ Status Status::ParseError(std::string msg) {
 }
 Status Status::Timeout(std::string msg) {
   return Status(StatusCode::kTimeout, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 const std::string& Status::message() const {

@@ -29,6 +29,7 @@ enum class StatusCode {
   kIoError = 9,
   kParseError = 10,
   kTimeout = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable lower-case name for `code` (e.g. "invalid_argument").
@@ -57,6 +58,7 @@ class Status {
   static Status IoError(std::string msg);
   static Status ParseError(std::string msg);
   static Status Timeout(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   /// True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }

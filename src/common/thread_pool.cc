@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/fault_injection.h"
+
 namespace treewm {
 
 namespace {
@@ -17,27 +19,54 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    shutting_down_ = true;
-  }
-  task_ready_.notify_all();
-  for (auto& worker : workers_) worker.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(std::function<void()> task) {
+  if (TREEWM_FAULT_FIRED("thread_pool.submit.reject")) {
+    return Status::FailedPrecondition("injected submit rejection");
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("thread pool is shut down");
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_ready_.notify_one();
+  return Status::OK();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  bool do_join = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    if (!joined_) {
+      joined_ = true;
+      do_join = true;
+    }
+  }
+  task_ready_.notify_all();
+  if (do_join) {
+    for (auto& worker : workers_) worker.join();
+    all_done_.notify_all();
+  } else {
+    // A concurrent Shutdown already owns the join; wait for the drain so
+    // every caller observes the same post-condition (all tasks ran).
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+}
+
+bool ThreadPool::IsShutdown() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return shutting_down_;
 }
 
 bool ThreadPool::OnWorkerThread() const { return t_current_pool == this; }
@@ -56,6 +85,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Fault site: simulate a descheduled/stalled worker between dequeue and
+    // execution — the window where batching and shutdown races live.
+    (void)TREEWM_FAULT_FIRED("thread_pool.worker.stall");
     task();
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -87,16 +119,20 @@ void ParallelFor(ThreadPool* pool, size_t count,
   std::condition_variable done_cv;
   const size_t shards = std::min(count, pool->num_threads());
   size_t pending = shards;  // guarded by done_mutex
+  auto work = [&] {
+    size_t i;
+    while ((i = next.fetch_add(1)) < count) body(i);
+    // Decrement and notify under the lock: the waiting caller owns these
+    // stack objects and may destroy them the moment it observes
+    // pending == 0, so the last worker must not touch them afterwards.
+    std::lock_guard<std::mutex> lock(done_mutex);
+    if (--pending == 0) done_cv.notify_all();
+  };
   for (size_t s = 0; s < shards; ++s) {
-    pool->Submit([&] {
-      size_t i;
-      while ((i = next.fetch_add(1)) < count) body(i);
-      // Decrement and notify under the lock: the waiting caller owns these
-      // stack objects and may destroy them the moment it observes
-      // pending == 0, so the last worker must not touch them afterwards.
-      std::lock_guard<std::mutex> lock(done_mutex);
-      if (--pending == 0) done_cv.notify_all();
-    });
+    // A rejected shard (pool shut down mid-loop, or an injected fault) runs
+    // on the calling thread: iterations are claimed via `next`, so work is
+    // never lost or duplicated, only less parallel.
+    if (!pool->Submit(work).ok()) work();
   }
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return pending == 0; });

@@ -3,6 +3,12 @@
 // Forest training parallelizes across trees. Determinism is preserved by
 // assigning each work item its own pre-forked RNG, so the schedule cannot
 // change results.
+//
+// Shutdown contract (the serving layer leans on this): Shutdown() stops
+// admission and DRAINS — every task accepted before it runs to completion,
+// tasks submitted after it are rejected with FailedPrecondition, and no
+// accepted task is ever silently dropped. The destructor performs the same
+// drain.
 
 #ifndef TREEWM_COMMON_THREAD_POOL_H_
 #define TREEWM_COMMON_THREAD_POOL_H_
@@ -15,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace treewm {
 
 /// A fixed set of worker threads consuming a FIFO task queue.
@@ -23,17 +31,26 @@ class ThreadPool {
   /// Starts `num_threads` workers (>= 1; 0 is clamped to 1).
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains outstanding tasks and joins the workers.
+  /// Drains outstanding tasks and joins the workers (same as Shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after the destructor begins.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Fails with FailedPrecondition once Shutdown() has
+  /// begun; an OK return guarantees the task will run.
+  Status Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished.
   void Wait();
+
+  /// Stops accepting tasks, runs everything already queued, and joins the
+  /// workers. Idempotent and safe to call concurrently with Submit (the
+  /// race resolves to either accepted-and-run or rejected-with-Status).
+  void Shutdown();
+
+  /// True once Shutdown() has begun (admission is closed).
+  bool IsShutdown() const;
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
@@ -51,16 +68,17 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  bool joined_ = false;  // guarded by mutex_; workers joined exactly once
 };
 
 /// Runs body(i) for i in [0, count) across `pool`, blocking until all
 /// iterations complete. body must be safe to invoke concurrently for distinct
-/// indices. If `pool` is nullptr or count <= 1, runs inline.
+/// indices. If `pool` is nullptr, shut down, or count <= 1, runs inline.
 void ParallelFor(ThreadPool* pool, size_t count, const std::function<void(size_t)>& body);
 
 }  // namespace treewm

@@ -7,11 +7,12 @@ namespace treewm::io {
 namespace {
 
 Status CheckVersion(const JsonValue& json) {
-  TREEWM_ASSIGN_OR_RETURN(const JsonValue* version, json.Get("format_version"));
-  if (version->AsInt64() != kFormatVersion) {
+  if (!json.is_object()) return Status::ParseError("model document must be an object");
+  TREEWM_ASSIGN_OR_RETURN(int64_t version, json.GetInt64("format_version"));
+  if (version != kFormatVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported format version %lld (expected %d)",
-                  static_cast<long long>(version->AsInt64()), kFormatVersion));
+                  static_cast<long long>(version), kFormatVersion));
   }
   return Status::OK();
 }
@@ -52,14 +53,19 @@ JsonValue DatasetToJson(const data::Dataset& dataset) {
 }
 
 Result<data::Dataset> DatasetFromJson(const JsonValue& json) {
-  TREEWM_ASSIGN_OR_RETURN(const JsonValue* num_features, json.Get("num_features"));
-  TREEWM_ASSIGN_OR_RETURN(const JsonValue* rows, json.Get("rows"));
-  TREEWM_ASSIGN_OR_RETURN(const JsonValue* labels, json.Get("labels"));
-  if (!rows->is_array() || !labels->is_array() ||
-      rows->AsArray().size() != labels->AsArray().size()) {
+  if (!json.is_object()) return Status::ParseError("dataset must be an object");
+  // A truncated or bit-flipped bundle must surface ParseError, never trip a
+  // typed-accessor assert: checked conversions throughout.
+  TREEWM_ASSIGN_OR_RETURN(int64_t num_features, json.GetInt64("num_features"));
+  if (num_features < 0) {
+    return Status::ParseError("'num_features' must be non-negative");
+  }
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* rows, json.GetArray("rows"));
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* labels, json.GetArray("labels"));
+  if (rows->AsArray().size() != labels->AsArray().size()) {
     return Status::ParseError("rows/labels must be parallel arrays");
   }
-  data::Dataset dataset(static_cast<size_t>(num_features->AsInt64()));
+  data::Dataset dataset(static_cast<size_t>(num_features));
   if (const JsonValue* name = json.Find("name"); name != nullptr && name->is_string()) {
     dataset.set_name(name->AsString());
   }
@@ -69,10 +75,11 @@ Result<data::Dataset> DatasetFromJson(const JsonValue& json) {
     if (!row_json.is_array()) return Status::ParseError("row must be an array");
     row.clear();
     for (const JsonValue& v : row_json.AsArray()) {
-      row.push_back(static_cast<float>(v.AsDouble()));
+      TREEWM_ASSIGN_OR_RETURN(double value, v.ToDouble());
+      row.push_back(static_cast<float>(value));
     }
-    TREEWM_RETURN_IF_ERROR(dataset.AddRow(
-        row, static_cast<int>(labels->AsArray()[i].AsInt64())));
+    TREEWM_ASSIGN_OR_RETURN(int64_t label, labels->AsArray()[i].ToInt64());
+    TREEWM_RETURN_IF_ERROR(dataset.AddRow(row, static_cast<int>(label)));
   }
   return dataset;
 }

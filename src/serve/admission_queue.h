@@ -1,0 +1,122 @@
+// Bounded MPMC admission queue with explicit backpressure policy.
+//
+// The first robustness boundary of the serving front-end: every arriving
+// request either gets a queue slot or a typed Status saying why not —
+// ResourceExhausted when the queue is full (kReject) or past the shed
+// high-water mark, DeadlineExceeded when a kBlockWithDeadline push timed
+// out, FailedPrecondition after shutdown. Admission never blocks
+// unboundedly and never drops an accepted item: Shutdown() closes admission
+// but consumers drain every queued request (drain-on-shutdown), so each one
+// is still answered.
+//
+// Load shedding starts BEFORE the queue is full: with shed_high_water set,
+// pushes are rejected once depth reaches the mark, keeping queueing delay
+// bounded under sustained overload instead of serving every request late
+// (the classic full-queue collapse).
+//
+// Blocking operations (kBlockWithDeadline pushes, Pop waits) measure time
+// on the injected Clock but park on real condition variables — use them
+// with the SystemClock. Deadline arithmetic alone (expiry checks) is what
+// FakeClock-driven unit tests exercise via TryPop/non-blocking paths.
+
+#ifndef TREEWM_SERVE_ADMISSION_QUEUE_H_
+#define TREEWM_SERVE_ADMISSION_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "serve/request.h"
+
+namespace treewm::serve {
+
+/// What Push does when the queue is at capacity.
+enum class OverflowPolicy {
+  /// Fail immediately with ResourceExhausted.
+  kReject,
+  /// Wait for space until the request's deadline, then DeadlineExceeded
+  /// (requests without a deadline wait indefinitely).
+  kBlockWithDeadline,
+};
+
+struct AdmissionQueueOptions {
+  /// Maximum queued (not yet popped) requests; >= 1.
+  size_t capacity = 1024;
+  OverflowPolicy policy = OverflowPolicy::kReject;
+  /// Queue depth at which load shedding begins (0 = disabled). Sheds are
+  /// ResourceExhausted like full-queue rejects but counted separately.
+  size_t shed_high_water = 0;
+  /// Time source for deadline arithmetic (nullptr = system clock).
+  Clock* clock = nullptr;
+};
+
+/// Counters snapshot; all monotonically increasing except high_water.
+struct AdmissionQueueStats {
+  uint64_t pushed = 0;             ///< accepted into the queue
+  uint64_t rejected_full = 0;      ///< kReject policy, queue at capacity
+  uint64_t rejected_shed = 0;      ///< over shed_high_water
+  uint64_t rejected_shutdown = 0;  ///< push after Shutdown()
+  uint64_t expired_blocking = 0;   ///< kBlockWithDeadline push timed out
+  uint64_t popped = 0;
+  uint64_t high_water = 0;         ///< max depth ever observed
+};
+
+/// Bounded FIFO of admitted requests; any number of producers/consumers.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionQueueOptions options);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `item` under the configured backpressure policy. The item's own
+  /// deadline bounds a kBlockWithDeadline wait. On a non-OK return the item
+  /// was NOT admitted and the caller still owns its promise.
+  /// Fault site "serve.admission.full": a fired hit behaves as an
+  /// instantaneous full queue regardless of actual depth.
+  Status Push(QueuedRequest item);
+
+  /// Pops the oldest request, blocking until one is available or the queue
+  /// is shut down AND drained (returns false — the consumer can stop).
+  bool Pop(QueuedRequest* out);
+
+  /// Like Pop but gives up (returns false) once the clock passes `until`.
+  /// A false return means timeout OR shutdown-and-drained; check
+  /// IsShutdown()/depth() to distinguish.
+  bool PopUntil(QueuedRequest* out, std::chrono::nanoseconds until);
+
+  /// Non-blocking Pop.
+  bool TryPop(QueuedRequest* out);
+
+  /// Closes admission. Queued requests remain poppable; once empty, Pop
+  /// returns false. Idempotent.
+  void Shutdown();
+
+  bool IsShutdown() const;
+
+  /// Current queue depth.
+  size_t depth() const;
+
+  AdmissionQueueStats stats() const;
+
+ private:
+  bool PopLocked(QueuedRequest* out, std::unique_lock<std::mutex>& lock);
+
+  const AdmissionQueueOptions options_;
+  Clock* const clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable item_ready_;
+  std::condition_variable space_ready_;
+  std::deque<QueuedRequest> items_;
+  bool shutting_down_ = false;
+  AdmissionQueueStats stats_;
+};
+
+}  // namespace treewm::serve
+
+#endif  // TREEWM_SERVE_ADMISSION_QUEUE_H_

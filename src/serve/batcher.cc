@@ -1,0 +1,42 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+namespace treewm::serve {
+
+Batcher::Batcher(BatcherOptions options) : options_(options) {
+  options_.max_batch_rows = std::max<size_t>(1, options_.max_batch_rows);
+}
+
+void Batcher::Add(QueuedRequest request) {
+  pending_.push_back(std::move(request));
+}
+
+bool Batcher::ShouldFlush(std::chrono::nanoseconds now) const {
+  if (pending_.empty()) return false;
+  if (pending_.size() >= options_.max_batch_rows) return true;
+  return now >= NextFlushAt();
+}
+
+std::chrono::nanoseconds Batcher::NextFlushAt() const {
+  if (pending_.empty()) return kNoDeadline;
+  // The FIFO front is the oldest admission; saturate instead of overflowing
+  // when a request has no meaningful admission time.
+  const auto delay = effective_delay();
+  const auto oldest = pending_.front().admitted_at;
+  if (kNoDeadline - delay < oldest) return kNoDeadline;
+  return oldest + delay;
+}
+
+std::vector<QueuedRequest> Batcher::TakeBatch() {
+  const size_t n = std::min(pending_.size(), options_.max_batch_rows);
+  std::vector<QueuedRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+}  // namespace treewm::serve

@@ -1,0 +1,41 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treewm::serve {
+
+Backoff::Backoff(const RetryPolicy& policy) : policy_(policy), rng_(policy.seed) {
+  policy_.max_attempts = std::max<size_t>(1, policy_.max_attempts);
+  policy_.multiplier = std::max(1.0, policy_.multiplier);
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  if (policy_.initial_backoff.count() < 0) policy_.initial_backoff = {};
+  if (policy_.max_backoff < policy_.initial_backoff) {
+    policy_.max_backoff = policy_.initial_backoff;
+  }
+}
+
+std::optional<std::chrono::nanoseconds> Backoff::Next() {
+  if (retries_ + 1 >= policy_.max_attempts) return std::nullopt;
+  const double base = static_cast<double>(policy_.initial_backoff.count()) *
+                      std::pow(policy_.multiplier, static_cast<double>(retries_));
+  const double capped =
+      std::min(base, static_cast<double>(policy_.max_backoff.count()));
+  // One RNG draw per retry even when jitter is 0 keeps the stream position
+  // (and thus any later jittered schedule) independent of the jitter knob.
+  const double scale = 1.0 - policy_.jitter + 2.0 * policy_.jitter * rng_.UniformReal();
+  ++retries_;
+  return std::chrono::nanoseconds(
+      static_cast<int64_t>(std::llround(capped * scale)));
+}
+
+void Backoff::Reset() {
+  rng_ = Rng(policy_.seed);
+  retries_ = 0;
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
+
+}  // namespace treewm::serve

@@ -1,0 +1,100 @@
+// Capped exponential backoff with jitter for serving clients.
+//
+// Shed and queue-full rejections (ResourceExhausted) are the front-end
+// TELLING clients to back off; retrying them immediately re-creates the
+// overload. This helper implements the standard discipline: exponential
+// backoff with a cap, multiplicative jitter to decorrelate retry storms,
+// and a hard attempt budget. Deadline/validation failures are not
+// retryable — the request is dead or wrong, not unlucky.
+//
+// Determinism: the jitter stream comes from a seeded Rng and time flows
+// through the injected Clock, so a retry schedule is reproducible
+// bit-for-bit under FakeClock in tests (and instant — FakeClock's SleepFor
+// advances instead of blocking).
+
+#ifndef TREEWM_SERVE_RETRY_H_
+#define TREEWM_SERVE_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace treewm::serve {
+
+struct RetryPolicy {
+  /// Total tries of the operation (first attempt included); >= 1.
+  size_t max_attempts = 4;
+  /// Backoff before the first retry.
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(1);
+  /// Ceiling for the un-jittered backoff.
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(100);
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+  /// Backoff is scaled by a uniform draw from [1 - jitter, 1 + jitter];
+  /// 0 disables jitter. Must be in [0, 1].
+  double jitter = 0.25;
+  /// Seed for the jitter stream.
+  uint64_t seed = 0;
+};
+
+/// Deterministic backoff schedule generator for one operation.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy);
+
+  /// The delay to sleep before the next retry, or nullopt when the attempt
+  /// budget is spent. The k-th call returns jitter(min(initial * mult^k,
+  /// max)) — identical for identical (policy, seed).
+  std::optional<std::chrono::nanoseconds> Next();
+
+  /// Restarts the schedule (same seed -> same delays again).
+  void Reset();
+
+  /// Retries consumed so far.
+  size_t retries() const { return retries_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  size_t retries_ = 0;
+};
+
+/// True for errors a retry can fix: overload pushback (ResourceExhausted).
+/// DeadlineExceeded/Timeout mean the caller's time budget is spent;
+/// InvalidArgument/FailedPrecondition mean retrying cannot help.
+bool IsRetryableStatus(const Status& status);
+
+namespace internal {
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+Status StatusOf(const Result<T>& result) {
+  return result.status();
+}
+}  // namespace internal
+
+/// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts
+/// times, sleeping the backoff schedule on `clock` between retryable
+/// failures. Returns the last outcome.
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, Clock* clock, Fn&& fn)
+    -> decltype(fn()) {
+  if (clock == nullptr) clock = Clock::System();
+  Backoff backoff(policy);
+  while (true) {
+    auto outcome = fn();
+    const Status status = internal::StatusOf(outcome);
+    if (status.ok() || !IsRetryableStatus(status)) return outcome;
+    const std::optional<std::chrono::nanoseconds> delay = backoff.Next();
+    if (!delay.has_value()) return outcome;
+    clock->SleepFor(*delay);
+  }
+}
+
+}  // namespace treewm::serve
+
+#endif  // TREEWM_SERVE_RETRY_H_

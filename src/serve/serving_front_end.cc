@@ -1,0 +1,241 @@
+#include "serve/serving_front_end.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "data/dataset.h"
+
+namespace treewm::serve {
+
+Result<std::unique_ptr<ServingFrontEnd>> ServingFrontEnd::Create(
+    std::shared_ptr<const predict::FlatEnsemble> ensemble,
+    ServingOptions options) {
+  if (ensemble == nullptr) {
+    return Status::InvalidArgument("serving front-end needs an ensemble");
+  }
+  if (ensemble->is_regression()) {
+    return Status::InvalidArgument(
+        "serving front-end serves classification ensembles (per-tree votes); "
+        "got a regression ensemble");
+  }
+  if (ensemble->num_trees() == 0 || ensemble->num_features() == 0) {
+    return Status::InvalidArgument("ensemble has no trees or no features");
+  }
+  if (options.queue.shed_high_water > options.queue.capacity) {
+    return Status::InvalidArgument("shed_high_water exceeds queue capacity");
+  }
+  return std::unique_ptr<ServingFrontEnd>(
+      new ServingFrontEnd(std::move(ensemble), std::move(options)));
+}
+
+ServingFrontEnd::ServingFrontEnd(
+    std::shared_ptr<const predict::FlatEnsemble> ensemble, ServingOptions options)
+    : ensemble_(std::move(ensemble)),
+      options_([&] {
+        ServingOptions o = std::move(options);
+        if (o.clock == nullptr) o.clock = Clock::System();
+        o.queue.clock = o.clock;  // one time source for the whole front-end
+        if (o.degrade_depth == 0) o.degrade_depth = o.queue.shed_high_water;
+        return o;
+      }()),
+      clock_(options_.clock),
+      predictor_(ensemble_, options_.predictor),
+      queue_(options_.queue),
+      batcher_(options_.batch) {
+  if (options_.start_dispatcher) {
+    dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  }
+}
+
+ServingFrontEnd::~ServingFrontEnd() { Shutdown(); }
+
+std::future<Result<PredictResult>> ServingFrontEnd::SubmitPredict(
+    std::span<const float> x, const RequestOptions& request_options) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto promise = std::make_shared<std::promise<Result<PredictResult>>>();
+  std::future<Result<PredictResult>> future = promise->get_future();
+
+  if (x.size() != ensemble_->num_features()) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(Status::InvalidArgument(
+        "request has " + std::to_string(x.size()) + " features, model expects " +
+        std::to_string(ensemble_->num_features())));
+    return future;
+  }
+
+  const auto now = clock_->Now();
+  QueuedRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.features.assign(x.begin(), x.end());
+  request.deadline =
+      request_options.timeout.count() > 0 ? now + request_options.timeout : kNoDeadline;
+  request.admitted_at = now;
+  request.promise = promise;
+
+  Status admitted = queue_.Push(std::move(request));
+  if (!admitted.ok()) {
+    // Rejections arrive at traffic rate under overload — rate-limit the log
+    // so reporting the shed never becomes the bottleneck being reported.
+    TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                       "serve: admission rejected: " + admitted.ToString());
+    promise->set_value(std::move(admitted));
+  }
+  return future;
+}
+
+Result<PredictResult> ServingFrontEnd::Predict(std::span<const float> x,
+                                               const RequestOptions& options) {
+  return SubmitPredict(x, options).get();
+}
+
+void ServingFrontEnd::UpdateDegradation() {
+  if (options_.degrade_depth == 0) return;
+  if (queue_.depth() >= options_.degrade_depth) {
+    batcher_.set_delay_override(std::chrono::nanoseconds{0});
+  } else {
+    batcher_.set_delay_override(std::nullopt);
+  }
+}
+
+size_t ServingFrontEnd::FlushBatch() {
+  const bool degraded =
+      batcher_.effective_delay() != batcher_.options().max_batch_delay;
+  std::vector<QueuedRequest> batch = batcher_.TakeBatch();
+  if (batch.empty()) return 0;
+  if (degraded) degraded_flushes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Deadline check at dispatch: a request that already expired waiting in
+  // the queue/batcher fails closed instead of occupying a batch slot.
+  auto now = clock_->Now();
+  std::vector<QueuedRequest> live;
+  live.reserve(batch.size());
+  size_t answered = 0;
+  for (QueuedRequest& request : batch) {
+    if (request.deadline != kNoDeadline && now >= request.deadline) {
+      expired_dispatch_.fetch_add(1, std::memory_order_relaxed);
+      TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                         "serve: request expired before dispatch");
+      request.promise->set_value(
+          Status::DeadlineExceeded("deadline expired before dispatch"));
+      ++answered;
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return answered;
+
+  // Fault site: stall between batch formation and the predictor call —
+  // where deadline-at-completion and mid-batch-shutdown races live.
+  (void)TREEWM_FAULT_FIRED("serve.batch.stall");
+
+  data::Dataset rows(ensemble_->num_features());
+  rows.Reserve(live.size());
+  for (const QueuedRequest& request : live) {
+    // Feature count was validated at submit; the label is a placeholder
+    // (prediction never reads it).
+    (void)rows.AddRow(request.features, data::kPositive);
+  }
+  const predict::VoteMatrix votes = predictor_.PredictAllVotes(rows);
+
+  now = clock_->Now();
+  for (size_t i = 0; i < live.size(); ++i) {
+    QueuedRequest& request = live[i];
+    if (request.deadline != kNoDeadline && now >= request.deadline) {
+      expired_completion_.fetch_add(1, std::memory_order_relaxed);
+      TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                         "serve: request expired during batch compute");
+      request.promise->set_value(
+          Status::DeadlineExceeded("deadline expired during batch compute"));
+      continue;
+    }
+    const std::span<const int8_t> row = votes.row(i);
+    PredictResult result;
+    result.votes.assign(row.begin(), row.end());
+    int sum = 0;
+    for (int8_t v : row) sum += v;
+    result.label = sum >= 0 ? +1 : -1;  // same tie rule as PredictLabels
+    request.promise->set_value(std::move(result));
+    completed_ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+  answered += live.size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_rows_.fetch_add(live.size(), std::memory_order_relaxed);
+  uint64_t seen = max_batch_rows_.load(std::memory_order_relaxed);
+  while (live.size() > seen &&
+         !max_batch_rows_.compare_exchange_weak(seen, live.size(),
+                                                std::memory_order_relaxed)) {
+  }
+  return answered;
+}
+
+void ServingFrontEnd::DispatcherLoop() {
+  while (true) {
+    UpdateDegradation();
+    if (batcher_.ShouldFlush(clock_->Now())) {
+      FlushBatch();
+      continue;
+    }
+    QueuedRequest request;
+    if (queue_.PopUntil(&request, batcher_.NextFlushAt())) {
+      batcher_.Add(std::move(request));
+      continue;
+    }
+    // Woke without an item: either the pending batch came due (handled at
+    // the top of the loop) or the queue is shut down and drained.
+    if (queue_.IsShutdown() && queue_.depth() == 0) {
+      while (!batcher_.empty()) FlushBatch();
+      return;
+    }
+  }
+}
+
+void ServingFrontEnd::Shutdown() {
+  bool expected = false;
+  if (!shutdown_started_.compare_exchange_strong(expected, true)) return;
+  queue_.Shutdown();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  } else {
+    // Manual mode: drain inline so every accepted promise is completed.
+    QueuedRequest request;
+    while (queue_.TryPop(&request)) batcher_.Add(std::move(request));
+    while (!batcher_.empty()) FlushBatch();
+  }
+}
+
+size_t ServingFrontEnd::Pump(bool force_flush) {
+  UpdateDegradation();
+  QueuedRequest request;
+  while (queue_.TryPop(&request)) batcher_.Add(std::move(request));
+  size_t answered = 0;
+  while (batcher_.ShouldFlush(clock_->Now())) answered += FlushBatch();
+  if (force_flush) {
+    while (!batcher_.empty()) answered += FlushBatch();
+  }
+  return answered;
+}
+
+ServingStats ServingFrontEnd::stats() const {
+  const AdmissionQueueStats queue_stats = queue_.stats();
+  ServingStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = queue_stats.pushed;
+  s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  s.rejected_full = queue_stats.rejected_full;
+  s.rejected_shed = queue_stats.rejected_shed;
+  s.rejected_shutdown = queue_stats.rejected_shutdown;
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.expired_admission = queue_stats.expired_blocking;
+  s.expired_dispatch = expired_dispatch_.load(std::memory_order_relaxed);
+  s.expired_completion = expired_completion_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
+  s.degraded_flushes = degraded_flushes_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_stats.high_water;
+  s.max_batch_rows = max_batch_rows_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace treewm::serve

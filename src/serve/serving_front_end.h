@@ -1,0 +1,163 @@
+// In-process verification/prediction serving front-end.
+//
+// Accepts single-instance requests, coalesces them into row blocks for the
+// batched flat-ensemble engine, and returns per-request results — wrapped
+// in a robustness envelope:
+//
+//   * bounded admission (AdmissionQueue): every request gets a slot or a
+//     typed Status (ResourceExhausted / DeadlineExceeded /
+//     FailedPrecondition) — no unbounded queues, no silent drops;
+//   * per-request deadlines checked at admission, at dispatch (expired
+//     requests are answered DeadlineExceeded instead of wasting a batch
+//     slot) and at completion;
+//   * load shedding + graceful degradation: past the queue's shed
+//     high-water mark new arrivals are rejected AND the batcher's flush
+//     delay collapses to zero so batches fill from the backlog;
+//   * drain-on-shutdown: Shutdown() stops admission and answers every
+//     in-flight request before returning — each accepted promise is
+//     completed exactly once.
+//
+// Determinism contract: a request's successful PredictResult depends only
+// on its feature vector — never on batch packing, thread schedule, queue
+// depth, or armed faults — because BatchPredictor's per-row outputs are
+// bit-exact and row-independent. Requests the envelope refuses fail closed
+// with a typed Status. tests/test_serve.cc asserts this across thread
+// counts × batch shapes × fault schedules.
+
+#ifndef TREEWM_SERVE_SERVING_FRONT_END_H_
+#define TREEWM_SERVE_SERVING_FRONT_END_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "predict/batch_predictor.h"
+#include "serve/admission_queue.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
+
+namespace treewm::serve {
+
+struct ServingOptions {
+  /// Admission bounds + backpressure policy. queue.clock is overridden by
+  /// `clock` below so the whole front-end shares one time source.
+  AdmissionQueueOptions queue;
+  /// Batch coalescing shape.
+  BatcherOptions batch;
+  /// Queue depth at which the batcher's flush delay collapses to zero
+  /// (0 = use queue.shed_high_water; both 0 disables degradation).
+  size_t degrade_depth = 0;
+  /// Kernel/tiling/threading for the batched predictor. Thread count only
+  /// affects speed, never results.
+  predict::BatchOptions predictor;
+  /// Time source (nullptr = system clock). With a FakeClock, construct with
+  /// start_dispatcher = false and drive Pump() manually — the background
+  /// dispatcher parks on real condition variables.
+  Clock* clock = nullptr;
+  /// Spawn the background dispatcher thread. false = manual mode: the test
+  /// (or embedding event loop) calls Pump() itself.
+  bool start_dispatcher = true;
+};
+
+/// Point-in-time counters snapshot (all requests accounted: admitted ==
+/// completed_ok + expired_* once drained; submitted == admitted + rejected).
+struct ServingStats {
+  uint64_t submitted = 0;            ///< SubmitPredict calls
+  uint64_t admitted = 0;             ///< accepted into the queue
+  uint64_t completed_ok = 0;         ///< answered with a PredictResult
+  uint64_t rejected_full = 0;        ///< queue at capacity (ResourceExhausted)
+  uint64_t rejected_shed = 0;        ///< over shed high-water (ResourceExhausted)
+  uint64_t rejected_shutdown = 0;    ///< after Shutdown (FailedPrecondition)
+  uint64_t rejected_invalid = 0;     ///< bad feature count (InvalidArgument)
+  uint64_t expired_admission = 0;    ///< dead on arrival / blocking push timeout
+  uint64_t expired_dispatch = 0;     ///< expired waiting in queue/batcher
+  uint64_t expired_completion = 0;   ///< expired during batch compute
+  uint64_t batches = 0;              ///< batches dispatched to the predictor
+  uint64_t batched_rows = 0;         ///< rows across those batches
+  uint64_t degraded_flushes = 0;     ///< flushes taken with delay collapsed
+  uint64_t queue_high_water = 0;     ///< max admission-queue depth observed
+  uint64_t max_batch_rows = 0;       ///< largest batch dispatched
+};
+
+/// The in-process serving front-end over one immutable ensemble image.
+class ServingFrontEnd {
+ public:
+  /// Validates options and the ensemble (classification only — per-tree ±1
+  /// votes are what verification consumes) and starts the dispatcher.
+  static Result<std::unique_ptr<ServingFrontEnd>> Create(
+      std::shared_ptr<const predict::FlatEnsemble> ensemble,
+      ServingOptions options);
+
+  /// Shuts down (drains) if the caller has not already.
+  ~ServingFrontEnd();
+
+  ServingFrontEnd(const ServingFrontEnd&) = delete;
+  ServingFrontEnd& operator=(const ServingFrontEnd&) = delete;
+
+  /// Submits one instance. Returns a future that resolves to the result or
+  /// a typed error; admission failures resolve immediately. Thread-safe.
+  std::future<Result<PredictResult>> SubmitPredict(std::span<const float> x,
+                                                   const RequestOptions& options = {});
+
+  /// Blocking convenience wrapper over SubmitPredict.
+  Result<PredictResult> Predict(std::span<const float> x,
+                                const RequestOptions& options = {});
+
+  /// Stops admission, drains the queue and batcher (every accepted request
+  /// is answered), and joins the dispatcher. Idempotent.
+  void Shutdown();
+
+  /// Manual-mode pump: moves every currently queued request into the
+  /// batcher and flushes while a batch is due (always flushes a non-empty
+  /// batcher when `force_flush`). Returns the number of requests answered.
+  /// Only meaningful with start_dispatcher = false.
+  size_t Pump(bool force_flush = false);
+
+  ServingStats stats() const;
+
+  size_t num_features() const { return ensemble_->num_features(); }
+  size_t num_trees() const { return ensemble_->num_trees(); }
+
+ private:
+  ServingFrontEnd(std::shared_ptr<const predict::FlatEnsemble> ensemble,
+                  ServingOptions options);
+
+  void DispatcherLoop();
+  /// Applies the degradation dial from the current queue depth.
+  void UpdateDegradation();
+  /// Dispatches one batch from the batcher: expires stale requests, runs
+  /// the predictor, completes every promise. Returns requests answered.
+  size_t FlushBatch();
+
+  std::shared_ptr<const predict::FlatEnsemble> ensemble_;
+  ServingOptions options_;
+  Clock* clock_;
+  predict::BatchPredictor predictor_;
+  AdmissionQueue queue_;
+  Batcher batcher_;
+  std::thread dispatcher_;
+  std::atomic<bool> shutdown_started_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  // Counters not already tracked by the queue (see stats()).
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_invalid_{0};
+  std::atomic<uint64_t> expired_admission_{0};
+  std::atomic<uint64_t> expired_dispatch_{0};
+  std::atomic<uint64_t> expired_completion_{0};
+  std::atomic<uint64_t> completed_ok_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_rows_{0};
+  std::atomic<uint64_t> degraded_flushes_{0};
+  std::atomic<uint64_t> max_batch_rows_{0};
+};
+
+}  // namespace treewm::serve
+
+#endif  // TREEWM_SERVE_SERVING_FRONT_END_H_

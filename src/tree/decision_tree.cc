@@ -399,35 +399,42 @@ JsonValue DecisionTree::ToJson() const {
 
 Result<DecisionTree> DecisionTree::FromJson(const JsonValue& json) {
   if (!json.is_object()) return Status::ParseError("tree JSON must be an object");
-  TREEWM_ASSIGN_OR_RETURN(const JsonValue* num_features, json.Get("num_features"));
-  TREEWM_ASSIGN_OR_RETURN(const JsonValue* nodes_json, json.Get("nodes"));
-  if (!nodes_json->is_array()) return Status::ParseError("'nodes' must be an array");
+  // Checked accessors throughout: a truncated or hand-corrupted model file
+  // must surface ParseError, never trip a typed-accessor assert or read a
+  // garbage cast (registry cold-start fails closed).
+  TREEWM_ASSIGN_OR_RETURN(int64_t num_features, json.GetInt64("num_features"));
+  if (num_features < 0) {
+    return Status::ParseError("'num_features' must be non-negative");
+  }
+  TREEWM_ASSIGN_OR_RETURN(const JsonValue* nodes_json, json.GetArray("nodes"));
 
   std::vector<TreeNode> nodes;
   nodes.reserve(nodes_json->AsArray().size());
   for (const JsonValue& node_json : nodes_json->AsArray()) {
     if (!node_json.is_object()) return Status::ParseError("node must be an object");
     TreeNode n;
-    TREEWM_ASSIGN_OR_RETURN(const JsonValue* f, node_json.Get("f"));
-    n.feature = static_cast<int>(f->AsInt64());
-    TREEWM_ASSIGN_OR_RETURN(const JsonValue* y, node_json.Get("y"));
-    n.label = static_cast<int>(y->AsInt64());
+    TREEWM_ASSIGN_OR_RETURN(int64_t feature, node_json.GetInt64("f"));
+    n.feature = static_cast<int>(feature);
+    TREEWM_ASSIGN_OR_RETURN(int64_t label, node_json.GetInt64("y"));
+    n.label = static_cast<int>(label);
     if (n.feature != -1) {
-      TREEWM_ASSIGN_OR_RETURN(const JsonValue* t, node_json.Get("t"));
-      TREEWM_ASSIGN_OR_RETURN(const JsonValue* l, node_json.Get("l"));
-      TREEWM_ASSIGN_OR_RETURN(const JsonValue* r, node_json.Get("r"));
-      n.threshold = static_cast<float>(t->AsDouble());
-      n.left = static_cast<int>(l->AsInt64());
-      n.right = static_cast<int>(r->AsInt64());
+      TREEWM_ASSIGN_OR_RETURN(double threshold, node_json.GetDouble("t"));
+      TREEWM_ASSIGN_OR_RETURN(int64_t left, node_json.GetInt64("l"));
+      TREEWM_ASSIGN_OR_RETURN(int64_t right, node_json.GetInt64("r"));
+      n.threshold = static_cast<float>(threshold);
+      n.left = static_cast<int>(left);
+      n.right = static_cast<int>(right);
     }
     nodes.push_back(n);
   }
   TREEWM_ASSIGN_OR_RETURN(
       DecisionTree tree,
-      FromNodes(std::move(nodes), static_cast<size_t>(num_features->AsInt64())));
-  if (const JsonValue* subset = json.Find("feature_subset"); subset != nullptr) {
+      FromNodes(std::move(nodes), static_cast<size_t>(num_features)));
+  if (json.Find("feature_subset") != nullptr) {
+    TREEWM_ASSIGN_OR_RETURN(const JsonValue* subset, json.GetArray("feature_subset"));
     for (const JsonValue& f : subset->AsArray()) {
-      tree.feature_subset_.push_back(static_cast<int>(f.AsInt64()));
+      TREEWM_ASSIGN_OR_RETURN(int64_t index, f.ToInt64());
+      tree.feature_subset_.push_back(static_cast<int>(index));
     }
   }
   return tree;

@@ -1,0 +1,139 @@
+// Tests for the process-wide fault-injection registry: arming semantics,
+// sequence/probability triggering, determinism, and the disarmed fast path.
+
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace treewm {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedSitesNeverFire) {
+  EXPECT_FALSE(FaultInjection::Enabled());
+  EXPECT_FALSE(TREEWM_FAULT_FIRED("nowhere.at.all"));
+  EXPECT_EQ(FaultInjection::HitCount("nowhere.at.all"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ArmedSiteFiresEveryHitByDefault) {
+  ScopedFault fault("site.a", FaultSpec{});
+  EXPECT_TRUE(FaultInjection::Enabled());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(TREEWM_FAULT_FIRED("site.a"));
+  EXPECT_EQ(fault.hits(), 5u);
+  EXPECT_EQ(fault.fires(), 5u);
+}
+
+TEST_F(FaultInjectionTest, ArmingOneSiteDoesNotAffectOthers) {
+  ScopedFault fault("site.a", FaultSpec{});
+  EXPECT_FALSE(TREEWM_FAULT_FIRED("site.b"));
+  EXPECT_TRUE(TREEWM_FAULT_FIRED("site.a"));
+}
+
+TEST_F(FaultInjectionTest, SequenceTriggering) {
+  // "Fire on the 3rd and 4th hit only" = skip_first 2, max_fires 2.
+  FaultSpec spec;
+  spec.skip_first = 2;
+  spec.max_fires = 2;
+  ScopedFault fault("site.seq", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(TREEWM_FAULT_FIRED("site.seq"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false, false}));
+  EXPECT_EQ(fault.hits(), 6u);
+  EXPECT_EQ(fault.fires(), 2u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicPerSeed) {
+  FaultSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+  auto run = [&spec] {
+    FaultInjection::Arm("site.p", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(TREEWM_FAULT_FIRED("site.p"));
+    FaultInjection::Disarm("site.p");
+    return fired;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);  // re-arming resets the seeded stream
+  // A fair-ish split, not all-or-nothing.
+  size_t fires = 0;
+  for (bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 8u);
+  EXPECT_LT(fires, 56u);
+}
+
+TEST_F(FaultInjectionTest, ZeroProbabilityNeverFires) {
+  FaultSpec spec;
+  spec.probability = 0.0;
+  ScopedFault fault("site.never", spec);
+  for (int i = 0; i < 32; ++i) EXPECT_FALSE(TREEWM_FAULT_FIRED("site.never"));
+  EXPECT_EQ(fault.hits(), 32u);
+  EXPECT_EQ(fault.fires(), 0u);
+}
+
+TEST_F(FaultInjectionTest, RearmingResetsCounters) {
+  FaultInjection::Arm("site.r", FaultSpec{});
+  EXPECT_TRUE(TREEWM_FAULT_FIRED("site.r"));
+  EXPECT_EQ(FaultInjection::HitCount("site.r"), 1u);
+  FaultInjection::Arm("site.r", FaultSpec{});
+  EXPECT_EQ(FaultInjection::HitCount("site.r"), 0u);
+  EXPECT_EQ(FaultInjection::FireCount("site.r"), 0u);
+  FaultInjection::Disarm("site.r");
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
+  FaultInjection::Arm("site.x", FaultSpec{});
+  FaultInjection::Arm("site.y", FaultSpec{});
+  FaultInjection::Reset();
+  EXPECT_FALSE(FaultInjection::Enabled());
+  EXPECT_FALSE(TREEWM_FAULT_FIRED("site.x"));
+  EXPECT_FALSE(TREEWM_FAULT_FIRED("site.y"));
+}
+
+TEST_F(FaultInjectionTest, StallDelaysTheHittingThread) {
+  FaultSpec spec;
+  spec.stall = std::chrono::milliseconds(20);
+  spec.max_fires = 1;
+  ScopedFault fault("site.stall", spec);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(TREEWM_FAULT_FIRED("site.stall"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+  // Second hit is past max_fires: no fire, no stall.
+  EXPECT_FALSE(TREEWM_FAULT_FIRED("site.stall"));
+}
+
+TEST_F(FaultInjectionTest, ConcurrentHitsAreCountedExactly) {
+  FaultSpec spec;
+  spec.probability = 0.0;  // count hits without firing
+  ScopedFault fault("site.mt", spec);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 250; ++i) (void)TREEWM_FAULT_FIRED("site.mt");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fault.hits(), 1000u);
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnDestruction) {
+  {
+    ScopedFault fault("site.scope", FaultSpec{});
+    EXPECT_TRUE(TREEWM_FAULT_FIRED("site.scope"));
+  }
+  EXPECT_FALSE(TREEWM_FAULT_FIRED("site.scope"));
+  EXPECT_FALSE(FaultInjection::Enabled());
+}
+
+}  // namespace
+}  // namespace treewm

@@ -1,0 +1,100 @@
+// Tests for the rate-limited logging helper behind TREEWM_LOG_EVERY_N.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace treewm {
+namespace {
+
+TEST(ShouldLogEveryNTest, FirstCallAlwaysLogs) {
+  LogEveryNState state;
+  uint64_t suppressed = 99;
+  EXPECT_TRUE(ShouldLogEveryN(&state, 10, &suppressed));
+  EXPECT_EQ(suppressed, 0u);
+}
+
+TEST(ShouldLogEveryNTest, EveryNthCallLogsWithSuppressedCount) {
+  LogEveryNState state;
+  uint64_t suppressed = 0;
+  int emitted = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (ShouldLogEveryN(&state, 10, &suppressed)) {
+      ++emitted;
+      // After the first emission, each one accounts for the 9 swallowed.
+      EXPECT_EQ(suppressed, emitted == 1 ? 0u : 9u);
+    }
+  }
+  EXPECT_EQ(emitted, 3);  // calls 1, 11, 21
+}
+
+TEST(ShouldLogEveryNTest, NOfOneLogsEverything) {
+  LogEveryNState state;
+  uint64_t suppressed = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ShouldLogEveryN(&state, 1, &suppressed));
+    EXPECT_EQ(suppressed, 0u);
+  }
+}
+
+TEST(ShouldLogEveryNTest, ZeroNIsClampedToOne) {
+  LogEveryNState state;
+  uint64_t suppressed = 0;
+  EXPECT_TRUE(ShouldLogEveryN(&state, 0, &suppressed));
+  EXPECT_TRUE(ShouldLogEveryN(&state, 0, &suppressed));
+}
+
+TEST(ShouldLogEveryNTest, ConcurrentCallsEmitExactlyOncePerWindow) {
+  // 4 threads x 250 calls = 1000 calls at n=100 -> exactly 10 emissions, no
+  // matter how the threads interleave (the counter is one atomic).
+  LogEveryNState state;
+  std::atomic<int> emitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&state, &emitted] {
+      for (int i = 0; i < 250; ++i) {
+        uint64_t suppressed = 0;
+        if (ShouldLogEveryN(&state, 100, &suppressed)) ++emitted;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(emitted.load(), 10);
+}
+
+TEST(LogEveryNMacroTest, EvaluatesMessageOnlyWhenEmitting) {
+  // The macro must not pay for (or side-effect through) message construction
+  // on suppressed calls.
+  SetLogLevel(LogLevel::kOff);  // suppress actual output, not the counting
+  int evaluations = 0;
+  auto make_message = [&evaluations] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  for (int i = 0; i < 25; ++i) {
+    TREEWM_LOG_EVERY_N(LogLevel::kWarning, 10, make_message());
+  }
+  EXPECT_EQ(evaluations, 3);  // calls 1, 11, 21
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(LogEveryNMacroTest, DistinctCallSitesHaveIndependentCounters) {
+  SetLogLevel(LogLevel::kOff);
+  int a = 0, b = 0;
+  for (int i = 0; i < 11; ++i) {
+    TREEWM_LOG_EVERY_N(LogLevel::kWarning, 10, (++a, std::string("a")));
+  }
+  for (int i = 0; i < 11; ++i) {
+    TREEWM_LOG_EVERY_N(LogLevel::kWarning, 10, (++b, std::string("b")));
+  }
+  EXPECT_EQ(a, 2);  // its own calls 1 and 11 — unaffected by site b
+  EXPECT_EQ(b, 2);
+  SetLogLevel(LogLevel::kWarning);
+}
+
+}  // namespace
+}  // namespace treewm

@@ -104,5 +104,74 @@ TEST(BundleIoTest, MissingFieldsFail) {
   EXPECT_FALSE(BundleFromJson(doc).ok());
 }
 
+// A bundle cut off mid-document (power loss, partial download) must be a
+// typed error at every truncation point, never an assert or garbage model.
+TEST(BundleIoTest, TruncatedFileFailsClosedAtEveryPrefix) {
+  auto wm = MakeWatermarked(30);
+  const std::string full = BundleToJson(BundleFrom(wm)).Dump();
+  const std::string path = ::testing::TempDir() + "/treewm_truncated.json";
+  // Step through prefixes coarsely (every 97 bytes) plus the final byte.
+  for (size_t len = 0; len < full.size(); len += 97) {
+    ASSERT_TRUE(WriteStringToFile(path, std::string_view(full).substr(0, len)).ok());
+    auto loaded = LoadBundle(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  }
+  ASSERT_TRUE(
+      WriteStringToFile(path, std::string_view(full).substr(0, full.size() - 1)).ok());
+  EXPECT_FALSE(LoadBundle(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ForestIoTest, WrongFieldTypesFailClosed) {
+  // Version as a string, not a number.
+  auto parsed = JsonValue::Parse(R"({"format_version": "1", "forest": {}})");
+  ASSERT_TRUE(parsed.ok());
+  {
+    auto bad = BundleFromJson(parsed.value());
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  }
+  // Tree node fields with the wrong types must not assert.
+  const char* bad_tree = R"({
+    "format_version": 1,
+    "forest": {"trees": [{"num_features": 2,
+                          "nodes": [{"f": "zero", "y": 1}]}]}
+  })";
+  auto doc = JsonValue::Parse(bad_tree);
+  ASSERT_TRUE(doc.ok());
+  const std::string path = ::testing::TempDir() + "/treewm_badtypes.json";
+  ASSERT_TRUE(WriteStringToFile(path, doc.value().Dump()).ok());
+  auto loaded = LoadForest(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetJsonTest, RejectsCorruptNumbers) {
+  // Labels out of int64 range (would be llround UB without the checked path).
+  auto doc = JsonValue::Parse(
+      R"({"num_features": 1, "rows": [[0.5]], "labels": [1e300]})");
+  ASSERT_TRUE(doc.ok());
+  auto parsed = DatasetFromJson(doc.value());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  // Negative feature count.
+  doc = JsonValue::Parse(R"({"num_features": -3, "rows": [], "labels": []})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(DatasetFromJson(doc.value()).ok());
+  // Row value of the wrong type.
+  doc = JsonValue::Parse(
+      R"({"num_features": 1, "rows": [["x"]], "labels": [1]})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(DatasetFromJson(doc.value()).ok());
+}
+
+TEST(ForestIoTest, MissingFileIsIoError) {
+  auto loaded = LoadForest(::testing::TempDir() + "/treewm_does_not_exist.json");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace treewm::io

@@ -1,0 +1,166 @@
+// Tests for the client-side retry/backoff helper: schedule shape,
+// determinism under seeded jitter, retryability classification, and the
+// RetryWithBackoff driver against a FakeClock.
+
+#include "serve/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace treewm::serve {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(6);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(BackoffTest, ExponentialGrowthWithCap) {
+  Backoff backoff(NoJitterPolicy());
+  // 1ms, 2ms, 4ms, then capped at 6ms — but max_attempts=5 allows only 4
+  // retries after the first attempt... which is 4 Next() calls; the 5th is
+  // nullopt.
+  EXPECT_EQ(backoff.Next(), nanoseconds(milliseconds(1)));
+  EXPECT_EQ(backoff.Next(), nanoseconds(milliseconds(2)));
+  EXPECT_EQ(backoff.Next(), nanoseconds(milliseconds(4)));
+  EXPECT_EQ(backoff.Next(), nanoseconds(milliseconds(6)));  // capped
+  EXPECT_EQ(backoff.Next(), std::nullopt);                  // budget spent
+  EXPECT_EQ(backoff.retries(), 4u);
+}
+
+TEST(BackoffTest, SingleAttemptNeverRetries) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 1;
+  Backoff backoff(policy);
+  EXPECT_EQ(backoff.Next(), std::nullopt);
+}
+
+TEST(BackoffTest, JitterStaysWithinBand) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 100;
+  policy.jitter = 0.25;
+  policy.max_backoff = milliseconds(1);  // freeze the base at 1ms
+  Backoff backoff(policy);
+  bool saw_below = false, saw_above = false;
+  for (int i = 0; i < 99; ++i) {
+    auto d = backoff.Next();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, nanoseconds(milliseconds(1)) * 3 / 4);
+    EXPECT_LE(*d, nanoseconds(milliseconds(1)) * 5 / 4);
+    if (*d < nanoseconds(milliseconds(1))) saw_below = true;
+    if (*d > nanoseconds(milliseconds(1))) saw_above = true;
+  }
+  EXPECT_TRUE(saw_below);
+  EXPECT_TRUE(saw_above);
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter = 0.5;
+  policy.seed = 42;
+  auto schedule = [&policy] {
+    Backoff backoff(policy);
+    std::vector<nanoseconds> out;
+    while (auto d = backoff.Next()) out.push_back(*d);
+    return out;
+  };
+  EXPECT_EQ(schedule(), schedule());
+}
+
+TEST(BackoffTest, ResetReplaysTheSchedule) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter = 0.5;
+  policy.seed = 7;
+  Backoff backoff(policy);
+  std::vector<nanoseconds> first;
+  while (auto d = backoff.Next()) first.push_back(*d);
+  backoff.Reset();
+  std::vector<nanoseconds> second;
+  while (auto d = backoff.Next()) second.push_back(*d);
+  EXPECT_EQ(first, second);
+}
+
+TEST(BackoffTest, DegenerateKnobsAreClamped) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;   // -> 1
+  policy.multiplier = 0.1;   // -> 1.0
+  policy.jitter = 3.0;       // -> 1.0
+  policy.initial_backoff = milliseconds(10);
+  policy.max_backoff = milliseconds(1);  // -> raised to initial
+  Backoff backoff(policy);
+  EXPECT_EQ(backoff.Next(), std::nullopt);  // one attempt, no retries
+}
+
+TEST(RetryableTest, OnlyResourceExhaustedIsRetryable) {
+  EXPECT_TRUE(IsRetryableStatus(Status::ResourceExhausted("shed")));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsRetryableStatus(Status::FailedPrecondition("closed")));
+  EXPECT_FALSE(IsRetryableStatus(Status::IoError("disk")));
+}
+
+TEST(RetryWithBackoffTest, RetriesUntilSuccess) {
+  FakeClock clock;
+  RetryPolicy policy = NoJitterPolicy();
+  int calls = 0;
+  Status st = RetryWithBackoff(policy, &clock, [&calls] {
+    ++calls;
+    return calls < 3 ? Status::ResourceExhausted("busy") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  // Slept 1ms + 2ms on the fake clock.
+  EXPECT_EQ(clock.Now(), nanoseconds(milliseconds(3)));
+}
+
+TEST(RetryWithBackoffTest, GivesUpAfterMaxAttempts) {
+  FakeClock clock;
+  RetryPolicy policy = NoJitterPolicy();  // max_attempts = 5
+  int calls = 0;
+  Status st = RetryWithBackoff(policy, &clock, [&calls] {
+    ++calls;
+    return Status::ResourceExhausted("always busy");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(RetryWithBackoffTest, NonRetryableFailsImmediately) {
+  FakeClock clock;
+  int calls = 0;
+  Status st = RetryWithBackoff(NoJitterPolicy(), &clock, [&calls] {
+    ++calls;
+    return Status::DeadlineExceeded("dead");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.Now(), nanoseconds(0));  // never slept
+}
+
+TEST(RetryWithBackoffTest, WorksOverResultT) {
+  FakeClock clock;
+  int calls = 0;
+  Result<int> result =
+      RetryWithBackoff(NoJitterPolicy(), &clock, [&calls]() -> Result<int> {
+        ++calls;
+        if (calls < 2) return Status::ResourceExhausted("busy");
+        return 41 + 1;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace treewm::serve

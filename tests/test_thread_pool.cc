@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
+
+#include "common/fault_injection.h"
 
 namespace treewm {
 namespace {
@@ -93,6 +97,97 @@ TEST(ParallelForTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
     ParallelFor(&pool, 8, [&](size_t) { ++counter; });
   });
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolShutdownTest, TasksAcceptedBeforeShutdownAllRun) {
+  // Drain-on-shutdown: an OK Submit is a guarantee the task runs, even when
+  // Shutdown arrives while hundreds of tasks are still queued behind slow
+  // ones.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  int accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    Status st = pool.Submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      ++counter;
+    });
+    if (st.ok()) ++accepted;
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), accepted);
+  EXPECT_EQ(accepted, 200);  // nothing raced Shutdown here
+}
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownRejectedWithStatus) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_TRUE(pool.IsShutdown());
+  bool ran = false;
+  Status st = pool.Submit([&ran] { ran = true; });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(ran);  // a rejected task must never run
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownIsIdempotentAndConcurrencySafe) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    (void)pool.Submit([&counter] { ++counter; });
+  }
+  // Several threads race to shut down; all must return with the pool drained.
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) closers.emplace_back([&pool] { pool.Shutdown(); });
+  for (auto& t : closers) t.join();
+  EXPECT_EQ(counter.load(), 64);
+  pool.Shutdown();  // and again, after the workers are joined
+  EXPECT_TRUE(pool.IsShutdown());
+}
+
+TEST(ThreadPoolShutdownTest, NoSilentDropsUnderConcurrentSubmitAndShutdown) {
+  // Every Submit outcome must be accounted for: OK -> ran, !OK -> never ran.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &ran, &accepted] {
+      for (int i = 0; i < 100; ++i) {
+        if (pool.Submit([&ran] { ++ran; }).ok()) ++accepted;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  pool.Shutdown();
+  for (auto& t : producers) t.join();
+  pool.Shutdown();  // drain anything accepted after the first Shutdown won the race
+  EXPECT_EQ(ran.load(), accepted.load());
+}
+
+TEST(ThreadPoolFaultTest, InjectedSubmitRejectionFallsBackInline) {
+  // With "thread_pool.submit.reject" armed, ParallelFor's Submit calls fail
+  // but the loop still covers every index via the inline fallback.
+  ThreadPool pool(4);
+  ScopedFault fault("thread_pool.submit.reject", FaultSpec{});
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(&pool, hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GT(fault.fires(), 0u);
+}
+
+TEST(ThreadPoolFaultTest, WorkerStallDelaysButNeverDropsTasks) {
+  ThreadPool pool(2);
+  FaultSpec spec;
+  spec.stall = std::chrono::microseconds(100);
+  spec.max_fires = 5;
+  ScopedFault fault("thread_pool.worker.stall", spec);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_EQ(fault.fires(), 5u);
 }
 
 TEST(GlobalPoolTest, IsSingletonAndUsable) {
