@@ -5,6 +5,7 @@
 // forgeries are detectably off-distribution.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "attacks/forgery_attack.h"
 #include "bench_util.h"
@@ -43,8 +44,12 @@ int main() {
       std::printf("%s",
                   data::synthetic::RenderImageAscii(inst.features).c_str());
       auto ds = report.ToDataset(env.test.num_features()).MoveValue();
-      data::Dataset* sink = &all_forged;
-      (void)sink->Concat(ds);
+      Status appended = all_forged.Concat(ds);
+      if (!appended.ok()) {
+        std::fprintf(stderr, "fig5: concat of forged instances failed: %s\n",
+                     appended.ToString().c_str());
+        std::exit(1);
+      }
     }
   }
 

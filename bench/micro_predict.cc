@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "boosting/gbdt.h"
@@ -42,7 +43,7 @@ const bench::ForestFixture& CachedCoarseFixture() {
     for (size_t r = 0; r < data.num_rows(); ++r) {
       std::vector<float> row(data.Row(r).begin(), data.Row(r).end());
       for (float& x : row) x = std::round(x * 4.0f) / 4.0f;
-      (void)coarse.AddRow(row, data.Label(r));
+      if (!coarse.AddRow(row, data.Label(r)).ok()) std::abort();  // fixture rows are well-formed
     }
     forest::ForestConfig config;
     config.num_trees = 32;

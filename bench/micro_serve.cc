@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <thread>
@@ -30,6 +31,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "predict/flat_ensemble.h"
 #include "serve/serving_front_end.h"
 
@@ -76,6 +78,7 @@ double BaseRatePerSec() {
     for (size_t i = 0; i < kWarm; ++i) {
       futures.push_back(serving->SubmitPredict(fx.data.Row(i % fx.data.num_rows())));
     }
+    // discard ok: warm-up traffic; outcomes are intentionally uncounted
     for (auto& f : futures) (void)f.get();
     futures.clear();
     const auto start = steady_clock::now();
@@ -110,7 +113,8 @@ OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
   std::vector<double> latencies_us;
   latencies_us.reserve(num_requests);
   size_t shed = 0;
-  std::thread collector([&] {
+  ThreadPool collector(1);
+  const Status collector_started = collector.Submit([&] {
     for (size_t i = 0; i < num_requests; ++i) {
       while (produced.load(std::memory_order_acquire) <= i) {
         std::this_thread::yield();
@@ -125,6 +129,7 @@ OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
       }
     }
   });
+  if (!collector_started.ok()) std::abort();  // fresh pool never rejects
 
   // Producer: exponential inter-arrival gaps, absolute schedule (open loop —
   // a slow server does NOT slow the arrivals; that is the whole point).
@@ -142,7 +147,7 @@ OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
     next_arrival += std::chrono::duration_cast<steady_clock::duration>(
         std::chrono::duration<double>(gap_s));
   }
-  collector.join();
+  collector.Shutdown();  // drains the collector task (= join)
 
   OpenLoopOutcome outcome;
   outcome.latencies_us = std::move(latencies_us);

@@ -78,7 +78,7 @@ DetectionReport DetectByErrorRate(const forest::RandomForest& forest,
 
 /// Best signature reconstruction the attacker could submit from a report:
 /// uncertain trees are filled with `uncertain_fill` (0 or 1).
-Result<core::Signature> GuessesToSignature(const DetectionReport& report,
+[[nodiscard]] Result<core::Signature> GuessesToSignature(const DetectionReport& report,
                                            uint8_t uncertain_fill);
 
 }  // namespace treewm::attacks

@@ -67,7 +67,7 @@ struct ForgeryAttackReport {
   /// The attacker's forged trigger set as a Dataset (labels = target y).
   /// Fails if any instance does not fit a `num_features`-wide dataset (a
   /// mismatch used to be silently dropped, yielding a short dataset).
-  Result<data::Dataset> ToDataset(size_t num_features) const;
+  [[nodiscard]] Result<data::Dataset> ToDataset(size_t num_features) const;
 };
 
 /// Runs the attack: iterate over `test` rows (as anchors), query the forgery
@@ -81,7 +81,7 @@ struct ForgeryAttackReport {
 /// chunk-mate past the early-stop point that the sequential loop would
 /// never have solved — an invariant violation anywhere is grounds to
 /// distrust the report, so it fails loudly rather than being discarded.
-Result<ForgeryAttackReport> RunForgeryAttack(const forest::RandomForest& model,
+[[nodiscard]] Result<ForgeryAttackReport> RunForgeryAttack(const forest::RandomForest& model,
                                              const core::Signature& fake_signature,
                                              const data::Dataset& test,
                                              const ForgeryAttackConfig& config);

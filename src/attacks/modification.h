@@ -30,19 +30,19 @@ namespace treewm::attacks {
 /// node deeper than the cut becomes a leaf labeled with the majority label
 /// of the leaves below it (ties break positive). `max_depth` >= 0; 0 reduces
 /// each tree to a single leaf.
-Result<forest::RandomForest> PruneToDepth(const forest::RandomForest& forest,
+[[nodiscard]] Result<forest::RandomForest> PruneToDepth(const forest::RandomForest& forest,
                                           int max_depth);
 
 /// Flips the label of each leaf independently with probability `fraction`
 /// (in [0,1]). The attacker cannot tell trigger-carrying leaves apart, so
 /// random flipping is their best untargeted strategy.
-Result<forest::RandomForest> RelabelRandomLeaves(const forest::RandomForest& forest,
+[[nodiscard]] Result<forest::RandomForest> RelabelRandomLeaves(const forest::RandomForest& forest,
                                                  double fraction, Rng* rng);
 
 /// Replaces round(fraction*m) randomly chosen trees with fresh trees trained
 /// on `surrogate` (the attacker's own data, assumed same distribution) using
 /// `config`. The replaced trees lose their watermark bits entirely.
-Result<forest::RandomForest> ReplaceRandomTrees(const forest::RandomForest& forest,
+[[nodiscard]] Result<forest::RandomForest> ReplaceRandomTrees(const forest::RandomForest& forest,
                                                 double fraction,
                                                 const data::Dataset& surrogate,
                                                 const tree::TreeConfig& config,
@@ -54,7 +54,7 @@ Result<forest::RandomForest> ReplaceRandomTrees(const forest::RandomForest& fore
 /// rate destroys evidence along with accuracy. Both models are evaluated
 /// with one batched vote-matrix query each (no per-row PredictAll). Returns
 /// 0 on an empty dataset; error when the models disagree on shape.
-Result<double> VoteFlipRate(const forest::RandomForest& original,
+[[nodiscard]] Result<double> VoteFlipRate(const forest::RandomForest& original,
                             const forest::RandomForest& modified,
                             const data::Dataset& dataset);
 

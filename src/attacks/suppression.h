@@ -32,7 +32,7 @@ struct SuppressionProbeReport {
 };
 
 /// Pools trigger and decoy rows and measures nearest-neighbour affinity.
-Result<SuppressionProbeReport> ProbeSuppression(const data::Dataset& trigger,
+[[nodiscard]] Result<SuppressionProbeReport> ProbeSuppression(const data::Dataset& trigger,
                                                 const data::Dataset& decoys);
 
 }  // namespace treewm::attacks

@@ -38,14 +38,14 @@ struct GbdtConfig {
   /// end through the boosting loop (and as the bench baseline).
   bool use_reference_trainer = false;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// An immutable trained GBDT binary classifier.
 class Gbdt {
  public:
   /// Trains on labels ±1 with logistic loss.
-  static Result<Gbdt> Fit(const data::Dataset& dataset, const GbdtConfig& config);
+  [[nodiscard]] static Result<Gbdt> Fit(const data::Dataset& dataset, const GbdtConfig& config);
 
   /// Raw additive score F(x) (log-odds scale).
   double Score(std::span<const float> row) const;

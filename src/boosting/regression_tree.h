@@ -38,7 +38,7 @@ struct RegressionTreeConfig {
   /// Minimum SSE decrease to accept a split.
   double min_gain = 1e-12;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// An immutable trained regression tree.
@@ -52,14 +52,14 @@ class RegressionTree {
   /// amortize the one-time column sort — for GBDT the row set is fixed
   /// across ALL boosting rounds, so one sort serves every stage. nullptr
   /// builds it internally. Bit-identical to FitReference.
-  static Result<RegressionTree> Fit(const data::Dataset& dataset,
+  [[nodiscard]] static Result<RegressionTree> Fit(const data::Dataset& dataset,
                                     const std::vector<double>& targets,
                                     const RegressionTreeConfig& config,
                                     const tree::SortedColumns* sorted = nullptr);
 
   /// The retained naive trainer (per-node re-sorting SSE sweep) — the
   /// executable specification Fit is property-tested against.
-  static Result<RegressionTree> FitReference(const data::Dataset& dataset,
+  [[nodiscard]] static Result<RegressionTree> FitReference(const data::Dataset& dataset,
                                              const std::vector<double>& targets,
                                              const RegressionTreeConfig& config);
 
@@ -71,7 +71,7 @@ class RegressionTree {
 
   /// Overwrites a leaf's value (used for Newton steps). `node` must be a
   /// leaf index.
-  Status SetLeafValue(int node, double value);
+  [[nodiscard]] Status SetLeafValue(int node, double value);
 
   int Depth() const;
   size_t NumLeaves() const;

@@ -12,8 +12,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <thread>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace treewm {
 
@@ -60,8 +62,8 @@ class FakeClock final : public Clock {
   explicit FakeClock(std::chrono::nanoseconds start = std::chrono::nanoseconds{0})
       : now_(start) {}
 
-  std::chrono::nanoseconds Now() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::chrono::nanoseconds Now() const override TREEWM_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return now_;
   }
 
@@ -71,14 +73,14 @@ class FakeClock final : public Clock {
 
   /// Moves time forward by `delta` (negative deltas are ignored: the clock
   /// is monotonic by contract).
-  void Advance(std::chrono::nanoseconds delta) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Advance(std::chrono::nanoseconds delta) TREEWM_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     if (delta.count() > 0) now_ += delta;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::chrono::nanoseconds now_;
+  mutable Mutex mutex_;
+  std::chrono::nanoseconds now_ TREEWM_GUARDED_BY(mutex_);
 };
 
 }  // namespace treewm

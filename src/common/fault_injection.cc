@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace treewm {
@@ -23,12 +24,17 @@ struct SiteState {
 // Armed-site registry. The hot path never touches it: g_armed_sites gates
 // everything, and it is only nonzero between Arm and Disarm/Reset in tests.
 std::atomic<size_t> g_armed_sites{0};
-std::mutex g_mutex;
+Mutex g_mutex;
 // std::map keeps iteration deterministic for Reset; transparent compare
-// lets Fire look up by string_view without allocating.
-std::map<std::string, SiteState, std::less<>>& Registry() {
-  static auto* registry = new std::map<std::string, SiteState, std::less<>>();
-  return *registry;
+// lets Fire look up by string_view without allocating. Leaked on purpose
+// (no destruction-order race with worker threads at exit); all access —
+// including the lazy construction — happens under g_mutex.
+using SiteMap = std::map<std::string, SiteState, std::less<>>;
+SiteMap* g_registry TREEWM_GUARDED_BY(g_mutex) = nullptr;
+
+SiteMap& Registry() TREEWM_REQUIRES(g_mutex) {
+  if (g_registry == nullptr) g_registry = new SiteMap();
+  return *g_registry;
 }
 
 }  // namespace
@@ -41,7 +47,7 @@ bool FaultInjection::Fire(std::string_view site) {
   std::chrono::nanoseconds stall{0};
   bool fired = false;
   {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(&g_mutex);
     auto it = Registry().find(site);
     if (it == Registry().end()) return false;
     SiteState& state = it->second;
@@ -62,33 +68,33 @@ bool FaultInjection::Fire(std::string_view site) {
 }
 
 void FaultInjection::Arm(const std::string& site, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   auto [it, inserted] = Registry().insert_or_assign(site, SiteState(spec));
-  (void)it;
+  (void)it;  // discard ok: structured binding must name both members
   if (inserted) g_armed_sites.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultInjection::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   if (Registry().erase(site) > 0) {
     g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjection::Reset() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   g_armed_sites.fetch_sub(Registry().size(), std::memory_order_relaxed);
   Registry().clear();
 }
 
 uint64_t FaultInjection::HitCount(const std::string& site) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   auto it = Registry().find(site);
   return it == Registry().end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjection::FireCount(const std::string& site) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   auto it = Registry().find(site);
   return it == Registry().end() ? 0 : it->second.fires;
 }

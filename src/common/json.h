@@ -70,22 +70,22 @@ class JsonValue {
   /// ParseError instead of an assert on type mismatch. ToInt64 also rejects
   /// non-finite numbers and values outside int64 range — a corrupt file must
   /// fail closed, not feed llround undefined behavior.
-  Result<bool> ToBool() const;
-  Result<double> ToDouble() const;
-  Result<int64_t> ToInt64() const;
+  [[nodiscard]] Result<bool> ToBool() const;
+  [[nodiscard]] Result<double> ToDouble() const;
+  [[nodiscard]] Result<int64_t> ToInt64() const;
 
   /// Object field lookup; returns nullptr when absent or not an object.
   const JsonValue* Find(std::string_view key) const;
 
   /// Object field lookup with error status when missing.
-  Result<const JsonValue*> Get(std::string_view key) const;
+  [[nodiscard]] Result<const JsonValue*> Get(std::string_view key) const;
 
   /// Typed object lookups: Get + checked conversion in one step, with the
   /// field name in the error message.
-  Result<int64_t> GetInt64(std::string_view key) const;
-  Result<double> GetDouble(std::string_view key) const;
+  [[nodiscard]] Result<int64_t> GetInt64(std::string_view key) const;
+  [[nodiscard]] Result<double> GetDouble(std::string_view key) const;
   /// Get + must-be-array check; returns the array-typed node.
-  Result<const JsonValue*> GetArray(std::string_view key) const;
+  [[nodiscard]] Result<const JsonValue*> GetArray(std::string_view key) const;
 
   /// Inserts/overwrites an object field. Must be an object.
   void Set(std::string key, JsonValue value);
@@ -100,7 +100,7 @@ class JsonValue {
   std::string DumpPretty() const;
 
   /// Parses a document from `text`.
-  static Result<JsonValue> Parse(std::string_view text);
+  [[nodiscard]] static Result<JsonValue> Parse(std::string_view text);
 
   bool operator==(const JsonValue& other) const;
 
@@ -116,10 +116,10 @@ class JsonValue {
 };
 
 /// Reads an entire file into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `contents` to `path`, truncating.
-Status WriteStringToFile(const std::string& path, std::string_view contents);
+[[nodiscard]] Status WriteStringToFile(const std::string& path, std::string_view contents);
 
 }  // namespace treewm
 

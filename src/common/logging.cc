@@ -2,14 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace treewm {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_mutex;
+// Serializes stderr writes only (no guarded state): one log call = one
+// un-interleaved line.
+Mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +38,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void Log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

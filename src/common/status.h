@@ -36,7 +36,14 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Outcome of an operation: OK, or a code plus message.
-class Status {
+///
+/// [[nodiscard]] on the class makes EVERY function returning Status by
+/// value warn when the result is dropped (-Werror=unused-result in all CI
+/// builds): a dropped refusal on the serve path must not compile silently.
+/// An intentional discard is written `(void)expr;` with a
+/// `// discard ok: <reason>` comment — tools/lint_invariants.py rejects
+/// the cast without the justification.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -46,19 +53,19 @@ class Status {
   Status(StatusCode code, std::string message);
 
   /// Factory helpers mirroring the StatusCode enumerators.
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg);
-  static Status NotFound(std::string msg);
-  static Status AlreadyExists(std::string msg);
-  static Status OutOfRange(std::string msg);
-  static Status FailedPrecondition(std::string msg);
-  static Status ResourceExhausted(std::string msg);
-  static Status NotImplemented(std::string msg);
-  static Status Internal(std::string msg);
-  static Status IoError(std::string msg);
-  static Status ParseError(std::string msg);
-  static Status Timeout(std::string msg);
-  static Status DeadlineExceeded(std::string msg);
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg);
+  [[nodiscard]] static Status NotFound(std::string msg);
+  [[nodiscard]] static Status AlreadyExists(std::string msg);
+  [[nodiscard]] static Status OutOfRange(std::string msg);
+  [[nodiscard]] static Status FailedPrecondition(std::string msg);
+  [[nodiscard]] static Status ResourceExhausted(std::string msg);
+  [[nodiscard]] static Status NotImplemented(std::string msg);
+  [[nodiscard]] static Status Internal(std::string msg);
+  [[nodiscard]] static Status IoError(std::string msg);
+  [[nodiscard]] static Status ParseError(std::string msg);
+  [[nodiscard]] static Status Timeout(std::string msg);
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg);
 
   /// True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -85,9 +92,10 @@ class Status {
   std::shared_ptr<const State> state_;
 };
 
-/// A value or an error Status. Analogous to arrow::Result.
+/// A value or an error Status. Analogous to arrow::Result. [[nodiscard]]
+/// for the same reason as Status: dropping a Result drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding `value`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -104,7 +112,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The status: OK when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 

@@ -26,46 +26,46 @@ Status ThreadPool::Submit(std::function<void()> task) {
     return Status::FailedPrecondition("injected submit rejection");
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (shutting_down_) {
       return Status::FailedPrecondition("thread pool is shut down");
     }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
   return Status::OK();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
 void ThreadPool::Shutdown() {
   bool do_join = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
     if (!joined_) {
       joined_ = true;
       do_join = true;
     }
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   if (do_join) {
     for (auto& worker : workers_) worker.join();
-    all_done_.notify_all();
+    all_done_.NotifyAll();
   } else {
     // A concurrent Shutdown already owns the join; wait for the drain so
     // every caller observes the same post-condition (all tasks ran).
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(&mutex_);
+    while (in_flight_ != 0) all_done_.Wait(lock);
   }
 }
 
 bool ThreadPool::IsShutdown() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return shutting_down_;
 }
 
@@ -76,8 +76,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_ready_.Wait(lock);
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -87,12 +87,13 @@ void ThreadPool::WorkerLoop() {
     }
     // Fault site: simulate a descheduled/stalled worker between dequeue and
     // execution — the window where batching and shutdown races live.
+    // discard ok: the stall's side effect is the point; firing is not an error
     (void)TREEWM_FAULT_FIRED("thread_pool.worker.stall");
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -115,18 +116,18 @@ void ParallelFor(ThreadPool* pool, size_t count,
     return;
   }
   std::atomic<size_t> next{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
   const size_t shards = std::min(count, pool->num_threads());
-  size_t pending = shards;  // guarded by done_mutex
+  size_t pending = shards;  // guarded by done_mutex (local: annotation by comment)
   auto work = [&] {
     size_t i;
     while ((i = next.fetch_add(1)) < count) body(i);
     // Decrement and notify under the lock: the waiting caller owns these
     // stack objects and may destroy them the moment it observes
     // pending == 0, so the last worker must not touch them afterwards.
-    std::lock_guard<std::mutex> lock(done_mutex);
-    if (--pending == 0) done_cv.notify_all();
+    MutexLock lock(&done_mutex);
+    if (--pending == 0) done_cv.NotifyAll();
   };
   for (size_t s = 0; s < shards; ++s) {
     // A rejected shard (pool shut down mid-loop, or an injected fault) runs
@@ -134,8 +135,8 @@ void ParallelFor(ThreadPool* pool, size_t count,
     // never lost or duplicated, only less parallel.
     if (!pool->Submit(work).ok()) work();
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return pending == 0; });
+  MutexLock lock(&done_mutex);
+  while (pending != 0) done_cv.Wait(lock);
 }
 
 }  // namespace treewm

@@ -13,14 +13,14 @@
 #ifndef TREEWM_COMMON_THREAD_POOL_H_
 #define TREEWM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace treewm {
@@ -38,19 +38,21 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Fails with FailedPrecondition once Shutdown() has
-  /// begun; an OK return guarantees the task will run.
-  Status Submit(std::function<void()> task);
+  /// begun; an OK return guarantees the task will run. Discarding the
+  /// Status drops the only signal that the task will never run — callers
+  /// must handle rejection (e.g. run inline) or justify the discard.
+  [[nodiscard]] Status Submit(std::function<void()> task) TREEWM_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() TREEWM_EXCLUDES(mutex_);
 
   /// Stops accepting tasks, runs everything already queued, and joins the
   /// workers. Idempotent and safe to call concurrently with Submit (the
   /// race resolves to either accepted-and-run or rejected-with-Status).
-  void Shutdown();
+  void Shutdown() TREEWM_EXCLUDES(mutex_);
 
   /// True once Shutdown() has begun (admission is closed).
-  bool IsShutdown() const;
+  bool IsShutdown() const TREEWM_EXCLUDES(mutex_);
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
@@ -64,16 +66,21 @@ class ThreadPool {
   bool OnWorkerThread() const;
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TREEWM_EXCLUDES(mutex_);
 
+  // Written only by the constructor, joined under the joined_ protocol;
+  // otherwise immutable, so num_threads()/OnWorkerThread() read it freely.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  bool joined_ = false;  // guarded by mutex_; workers joined exactly once
+
+  mutable Mutex mutex_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ TREEWM_GUARDED_BY(mutex_);
+  size_t in_flight_ TREEWM_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ TREEWM_GUARDED_BY(mutex_) = false;
+  /// Workers joined exactly once: the Shutdown call that flips this owns
+  /// the join.
+  bool joined_ TREEWM_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [0, count) across `pool`, blocking until all

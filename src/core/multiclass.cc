@@ -1,3 +1,4 @@
+#include <cassert>
 #include "core/multiclass.h"
 
 #include "common/string_util.h"
@@ -25,7 +26,8 @@ data::Dataset MultiClassDataset::BinaryView(int cls) const {
   for (size_t i = 0; i < num_rows(); ++i) {
     Status st = out.AddRow(Row(i), labels_[i] == cls ? data::kPositive
                                                      : data::kNegative);
-    (void)st;
+    assert(st.ok());
+    (void)st;  // discard ok: asserted above; Row(i) width matches by construction
   }
   return out;
 }
@@ -58,7 +60,8 @@ std::vector<int> MultiClassWatermarkedModel::PredictBatch(
   features.Reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Status st = features.AddRow(dataset.Row(i), data::kPositive);
-    (void)st;
+    assert(st.ok());
+    (void)st;  // discard ok: asserted above; rows come from a dataset of the same width
   }
 
   // Argmax with the scalar tie rule: classes ascend, strictly more positive

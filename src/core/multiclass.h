@@ -29,7 +29,7 @@ class MultiClassDataset {
   int num_classes() const { return num_classes_; }
 
   /// Appends one instance; `label` must be in [0, num_classes).
-  Status AddRow(std::span<const float> features, int label);
+  [[nodiscard]] Status AddRow(std::span<const float> features, int label);
 
   std::span<const float> Row(size_t i) const {
     return {values_.data() + i * num_features_, num_features_};
@@ -70,7 +70,7 @@ class MultiClassWatermarker {
   explicit MultiClassWatermarker(WatermarkConfig config) : config_(std::move(config)) {}
 
   /// `signatures` holds one signature per class (all the same length m).
-  Result<MultiClassWatermarkedModel> CreateWatermark(
+  [[nodiscard]] Result<MultiClassWatermarkedModel> CreateWatermark(
       const MultiClassDataset& train, const std::vector<Signature>& signatures) const;
 
  private:

@@ -23,21 +23,21 @@ namespace treewm::core {
 class Signature {
  public:
   /// Wraps explicit bits (values must be 0/1).
-  static Result<Signature> FromBits(std::vector<uint8_t> bits);
+  [[nodiscard]] static Result<Signature> FromBits(std::vector<uint8_t> bits);
 
   /// Random signature of `length` bits with exactly
   /// round(ones_fraction*length) ones, positions shuffled.
   static Signature Random(size_t length, double ones_fraction, Rng* rng);
 
   /// Parses "0101..." text.
-  static Result<Signature> FromBitString(const std::string& text);
+  [[nodiscard]] static Result<Signature> FromBitString(const std::string& text);
 
   /// Encodes an identity string as its UTF-8 bytes, MSB first (8 bits per
   /// byte). The resulting length is 8*text.size().
   static Signature FromText(const std::string& text);
 
   /// Inverse of FromText (length must be a multiple of 8).
-  Result<std::string> ToText() const;
+  [[nodiscard]] Result<std::string> ToText() const;
 
   /// Number of bits m.
   size_t length() const { return bits_.size(); }
@@ -56,10 +56,10 @@ class Signature {
   std::string ToBitString() const;
 
   /// Hamming distance to another signature of the same length.
-  Result<size_t> HammingDistance(const Signature& other) const;
+  [[nodiscard]] Result<size_t> HammingDistance(const Signature& other) const;
 
   JsonValue ToJson() const;
-  static Result<Signature> FromJson(const JsonValue& json);
+  [[nodiscard]] static Result<Signature> FromJson(const JsonValue& json);
 
   bool operator==(const Signature& other) const { return bits_ == other.bits_; }
 

@@ -44,7 +44,7 @@ struct TriggerTrainingResult {
 /// `dataset` as labeled *in the dataset* (callers encode the desired
 /// behaviour by flipping labels beforehand, per Algorithm 1 line 17).
 /// `trigger_indices` index rows of `dataset`.
-Result<TriggerTrainingResult> TrainWithTrigger(
+[[nodiscard]] Result<TriggerTrainingResult> TrainWithTrigger(
     const data::Dataset& dataset, const std::vector<size_t>& trigger_indices,
     const TriggerTrainingConfig& config);
 

@@ -121,7 +121,7 @@ class VerificationAuthority {
  public:
   /// Runs the protocol: builds the disguised batch, queries `model`, checks
   /// the per-tree pattern on the trigger rows. `rng` shuffles the batch.
-  static Result<VerificationReport> Verify(const BlackBoxModel& model,
+  [[nodiscard]] static Result<VerificationReport> Verify(const BlackBoxModel& model,
                                            const VerificationRequest& request,
                                            Rng* rng);
 };

@@ -69,7 +69,7 @@ class Watermarker {
 
   /// Runs Algorithm 1 on `train` with signature `sigma`. The ensemble size m
   /// equals sigma.length().
-  Result<WatermarkedModel> CreateWatermark(const data::Dataset& train,
+  [[nodiscard]] Result<WatermarkedModel> CreateWatermark(const data::Dataset& train,
                                            const Signature& sigma) const;
 
   /// The Adjust(H) heuristic exposed for tests/ablation: trains a standard
@@ -78,7 +78,7 @@ class Watermarker {
   /// tree can still isolate every trigger instance — §3.2 requires the
   /// shrunken trees to keep "overfitting the expected wrong output on the
   /// trigger set", which is impossible below ~one leaf per trigger point.
-  static Result<tree::TreeConfig> AdjustHyperparameters(
+  [[nodiscard]] static Result<tree::TreeConfig> AdjustHyperparameters(
       const data::Dataset& train, const tree::TreeConfig& tuned,
       const forest::ForestConfig& forest_template, size_t num_trees, uint64_t seed,
       size_t trigger_size = 0);

@@ -22,13 +22,13 @@ struct CsvOptions {
 };
 
 /// Loads a dataset from `path`.
-Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options = {});
+[[nodiscard]] Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options = {});
 
 /// Parses a dataset from in-memory CSV `text`.
-Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options = {});
+[[nodiscard]] Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options = {});
 
 /// Writes `dataset` to `path` (features then label, no header).
-Status SaveCsv(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status SaveCsv(const Dataset& dataset, const std::string& path);
 
 }  // namespace treewm::data
 

@@ -42,7 +42,7 @@ class Dataset {
 
   /// Appends one instance. `features.size()` must equal num_features() and
   /// `label` must be +1 or -1.
-  Status AddRow(std::span<const float> features, int label);
+  [[nodiscard]] Status AddRow(std::span<const float> features, int label);
 
   /// Feature j of row i (unchecked in release builds).
   float At(size_t i, size_t j) const {
@@ -80,7 +80,7 @@ class Dataset {
   Dataset Subset(const std::vector<size_t>& indices) const;
 
   /// Appends all rows of `other`; feature counts must match.
-  Status Concat(const Dataset& other);
+  [[nodiscard]] Status Concat(const Dataset& other);
 
   /// Returns a copy with every label negated (used to build D'_trigger,
   /// Algorithm 1 line 16).

@@ -24,16 +24,16 @@ struct SplitIndices {
 /// Stratified split preserving the class ratio in both parts.
 /// `test_fraction` in (0,1). Both parts are non-empty for any class that has
 /// at least 2 members.
-Result<SplitIndices> StratifiedSplit(const Dataset& dataset, double test_fraction,
+[[nodiscard]] Result<SplitIndices> StratifiedSplit(const Dataset& dataset, double test_fraction,
                                      Rng* rng);
 
 /// Draws `k` rows preserving the class ratio (used to reduce ijcnn1).
-Result<std::vector<size_t>> StratifiedSubsample(const Dataset& dataset, size_t k,
+[[nodiscard]] Result<std::vector<size_t>> StratifiedSubsample(const Dataset& dataset, size_t k,
                                                 Rng* rng);
 
 /// Uniform random sample of `k` distinct row indices — Algorithm 1's
 /// Sample(D_train, k).
-Result<std::vector<size_t>> SampleTriggerIndices(const Dataset& dataset, size_t k,
+[[nodiscard]] Result<std::vector<size_t>> SampleTriggerIndices(const Dataset& dataset, size_t k,
                                                  Rng* rng);
 
 /// Materializes a split into train/test datasets.
@@ -41,7 +41,7 @@ struct TrainTest {
   Dataset train;
   Dataset test;
 };
-Result<TrainTest> MakeTrainTest(const Dataset& dataset, double test_fraction, Rng* rng);
+[[nodiscard]] Result<TrainTest> MakeTrainTest(const Dataset& dataset, double test_fraction, Rng* rng);
 
 }  // namespace treewm::data
 

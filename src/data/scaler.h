@@ -18,14 +18,14 @@ namespace treewm::data {
 class MinMaxScaler {
  public:
   /// Learns per-feature min/max from `dataset`. Constant features map to 0.
-  Status Fit(const Dataset& dataset);
+  [[nodiscard]] Status Fit(const Dataset& dataset);
 
   /// Applies the learned map in place, clamping to [0,1] so unseen data
   /// cannot escape the range.
-  Status Transform(Dataset* dataset) const;
+  [[nodiscard]] Status Transform(Dataset* dataset) const;
 
   /// Fit followed by Transform on the same dataset.
-  Status FitTransform(Dataset* dataset);
+  [[nodiscard]] Status FitTransform(Dataset* dataset);
 
   /// True once Fit succeeded.
   bool fitted() const { return !mins_.empty(); }

@@ -57,7 +57,7 @@ Dataset MakeXor(uint64_t seed, size_t num_rows, size_t num_features = 2);
 std::vector<std::string> KnownDatasetNames();
 
 /// Dispatch by paper dataset name; `num_rows` of 0 means the Table-1 size.
-Result<Dataset> MakeByName(const std::string& name, uint64_t seed, size_t num_rows = 0);
+[[nodiscard]] Result<Dataset> MakeByName(const std::string& name, uint64_t seed, size_t num_rows = 0);
 
 /// Renders a 28×28 instance as ASCII art (for Figure-5-style inspection).
 /// `features.size()` must be 784.

@@ -49,11 +49,11 @@ struct GridSearchOutcome {
 };
 
 /// Stratified k-fold assignment: fold id per row, each fold class-balanced.
-Result<std::vector<size_t>> StratifiedFolds(const data::Dataset& dataset,
+[[nodiscard]] Result<std::vector<size_t>> StratifiedFolds(const data::Dataset& dataset,
                                             size_t num_folds, Rng* rng);
 
 /// Runs the search for an ensemble of `num_trees` trees.
-Result<GridSearchOutcome> GridSearch(const data::Dataset& dataset, size_t num_trees,
+[[nodiscard]] Result<GridSearchOutcome> GridSearch(const data::Dataset& dataset, size_t num_trees,
                                      const GridSearchConfig& config);
 
 }  // namespace treewm::forest

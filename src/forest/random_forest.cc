@@ -2,8 +2,8 @@
 
 #include <cassert>
 #include <cmath>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "predict/batch_predictor.h"
@@ -85,8 +85,8 @@ Result<RandomForest> RandomForest::Fit(
     pool = local_pool.get();
   }
 
-  std::mutex error_mutex;
-  Status first_error;
+  Mutex error_mutex;
+  Status first_error;  // guarded by error_mutex inside the fan-out
   ParallelFor(pool, config.num_trees, [&](size_t t) {
     Result<tree::DecisionTree> fitted =
         config.use_reference_trainer
@@ -97,7 +97,7 @@ Result<RandomForest> RandomForest::Fit(
     if (fitted.ok()) {
       forest.trees_[t] = std::move(fitted).MoveValue();
     } else {
-      std::lock_guard<std::mutex> lock(error_mutex);
+      MutexLock lock(&error_mutex);
       if (first_error.ok()) first_error = fitted.status();
     }
   });

@@ -43,7 +43,7 @@ struct ForestConfig {
   /// end through forest training (and as the bench baseline).
   bool use_reference_trainer = false;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// An immutable trained forest.
@@ -59,14 +59,14 @@ class RandomForest {
   /// Pass a prebuilt `sorted` to amortize the sort across many fits on the
   /// same rows (weight-boosting rounds, grid-search points on one fold);
   /// nullptr builds it internally.
-  static Result<RandomForest> Fit(
+  [[nodiscard]] static Result<RandomForest> Fit(
       const data::Dataset& dataset, const std::vector<double>& weights,
       const ForestConfig& config,
       std::shared_ptr<const tree::SortedColumns> sorted = nullptr);
 
   /// Assembles a forest from pre-trained trees (Algorithm 1's interleave
   /// step). All trees must agree on num_features.
-  static Result<RandomForest> FromTrees(std::vector<tree::DecisionTree> trees);
+  [[nodiscard]] static Result<RandomForest> FromTrees(std::vector<tree::DecisionTree> trees);
 
   /// Majority-vote label for one instance; ties predict +1 (documented,
   /// deterministic).
@@ -107,7 +107,7 @@ class RandomForest {
 
   /// Serialization.
   JsonValue ToJson() const;
-  static Result<RandomForest> FromJson(const JsonValue& json);
+  [[nodiscard]] static Result<RandomForest> FromJson(const JsonValue& json);
 
  private:
   RandomForest() = default;

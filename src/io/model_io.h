@@ -21,10 +21,10 @@ namespace treewm::io {
 inline constexpr int kFormatVersion = 1;
 
 /// Saves a bare forest to `path`.
-Status SaveForest(const forest::RandomForest& forest, const std::string& path);
+[[nodiscard]] Status SaveForest(const forest::RandomForest& forest, const std::string& path);
 
 /// Loads a bare forest from `path`.
-Result<forest::RandomForest> LoadForest(const std::string& path);
+[[nodiscard]] Result<forest::RandomForest> LoadForest(const std::string& path);
 
 /// The escrow bundle: model + signature + trigger set.
 struct WatermarkBundle {
@@ -38,15 +38,15 @@ WatermarkBundle BundleFrom(const core::WatermarkedModel& watermarked);
 
 /// JSON (de)serialization of bundles.
 JsonValue BundleToJson(const WatermarkBundle& bundle);
-Result<WatermarkBundle> BundleFromJson(const JsonValue& json);
+[[nodiscard]] Result<WatermarkBundle> BundleFromJson(const JsonValue& json);
 
 /// File round-trip.
-Status SaveBundle(const WatermarkBundle& bundle, const std::string& path);
-Result<WatermarkBundle> LoadBundle(const std::string& path);
+[[nodiscard]] Status SaveBundle(const WatermarkBundle& bundle, const std::string& path);
+[[nodiscard]] Result<WatermarkBundle> LoadBundle(const std::string& path);
 
 /// Dataset <-> JSON helpers (features + labels arrays).
 JsonValue DatasetToJson(const data::Dataset& dataset);
-Result<data::Dataset> DatasetFromJson(const JsonValue& json);
+[[nodiscard]] Result<data::Dataset> DatasetFromJson(const JsonValue& json);
 
 }  // namespace treewm::io
 

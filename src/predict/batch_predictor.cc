@@ -526,8 +526,10 @@ std::vector<double> StagedAccuracyCurveImpl(const Kernel& kernel, size_t m,
 
 /// The process-wide TREEWM_PREDICT_KERNEL override, read once.
 PredictKernel EnvKernel() {
-  static const PredictKernel kernel =
-      KernelChoiceFromString(std::getenv("TREEWM_PREDICT_KERNEL"));
+  static const PredictKernel kernel = KernelChoiceFromString(
+      // Read-only, once, under the static's init guard; nothing in this
+      // process calls setenv.
+      std::getenv("TREEWM_PREDICT_KERNEL"));  // NOLINT(concurrency-mt-unsafe)
   return kernel;
 }
 

@@ -19,6 +19,12 @@
 // This header is intentionally light (no flat_ensemble.h) so the model
 // headers can embed the slot; LazyImage is instantiated from .cc files that
 // see the complete image type.
+//
+// Concurrency: deliberately OUTSIDE the TREEWM_GUARDED_BY capability model
+// (src/common/annotations.h) — there is no lock for the analysis to track;
+// correctness rests on the acquire/release pairs above, which TSan (CI's
+// tsan job) checks instead. New shared state should prefer the annotated
+// common/mutex.h wrappers; atomics are for proven hot paths like this one.
 
 #ifndef TREEWM_PREDICT_FLAT_CACHE_H_
 #define TREEWM_PREDICT_FLAT_CACHE_H_

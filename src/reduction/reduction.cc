@@ -62,7 +62,7 @@ Result<forest::RandomForest> FormulaToEnsemble(const ThreeCnf& formula) {
     std::vector<TreeNode> nodes;
     const int root = BuildClauseSubtree(clause, 0, &nodes);
     assert(root == 0);
-    (void)root;
+    (void)root;  // discard ok: asserted above; the clause subtree roots at node 0
     TREEWM_ASSIGN_OR_RETURN(
         tree::DecisionTree t,
         tree::DecisionTree::FromNodes(std::move(nodes),

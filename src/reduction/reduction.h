@@ -20,7 +20,7 @@
 namespace treewm::reduction {
 
 /// Builds the ensemble JφK (one tree per clause, thresholds all 0).
-Result<forest::RandomForest> FormulaToEnsemble(const ThreeCnf& formula);
+[[nodiscard]] Result<forest::RandomForest> FormulaToEnsemble(const ThreeCnf& formula);
 
 /// The forgery query of the reduction: label +1, signature all zeros, and a
 /// symmetric domain [-1, 1] so both outcomes of every "x <= 0" test are
@@ -32,7 +32,7 @@ std::vector<bool> WitnessToAssignment(std::span<const float> witness);
 
 /// End-to-end check: solves 3SAT via the forgery solver. Returns the
 /// satisfying assignment, or NotFound when unsatisfiable.
-Result<std::vector<bool>> SolveThreeSatViaForgery(const ThreeCnf& formula,
+[[nodiscard]] Result<std::vector<bool>> SolveThreeSatViaForgery(const ThreeCnf& formula,
                                                   uint64_t max_nodes = 0);
 
 }  // namespace treewm::reduction

@@ -21,7 +21,7 @@ struct ThreeCnf {
   std::vector<std::vector<sat::Lit>> clauses;
 
   /// Checks arity and variable ranges.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Truth value under `assignment` (index = variable).
   bool Evaluate(const std::vector<bool>& assignment) const;
@@ -33,12 +33,12 @@ struct ThreeCnf {
 /// Uniform random 3CNF with exactly 3 distinct-variable literals per clause
 /// (the standard random-3SAT model; clause/variable ratio controls hardness,
 /// ~4.26 is the classic phase transition).
-Result<ThreeCnf> RandomThreeCnf(int num_vars, int num_clauses, Rng* rng);
+[[nodiscard]] Result<ThreeCnf> RandomThreeCnf(int num_vars, int num_clauses, Rng* rng);
 
 /// Conversions to/from the generic CNF container (validates arity on the
 /// way in).
 sat::CnfFormula ToCnfFormula(const ThreeCnf& formula);
-Result<ThreeCnf> FromCnfFormula(const sat::CnfFormula& formula);
+[[nodiscard]] Result<ThreeCnf> FromCnfFormula(const sat::CnfFormula& formula);
 
 }  // namespace treewm::reduction
 

@@ -24,10 +24,10 @@ struct CnfFormula {
 };
 
 /// Parses DIMACS text.
-Result<CnfFormula> ParseDimacs(const std::string& text);
+[[nodiscard]] Result<CnfFormula> ParseDimacs(const std::string& text);
 
 /// Loads a DIMACS file.
-Result<CnfFormula> LoadDimacs(const std::string& path);
+[[nodiscard]] Result<CnfFormula> LoadDimacs(const std::string& path);
 
 /// Serializes to DIMACS text.
 std::string ToDimacs(const CnfFormula& formula);

@@ -473,7 +473,7 @@ bool Solver::ModelSatisfiesFormula(const std::vector<bool>& model) const {
     }
     if (!satisfied) return false;
   }
-  (void)checked;
+  (void)checked;  // discard ok: assert-only bookkeeping, unused in release
   return true;
 }
 

@@ -17,113 +17,128 @@ AdmissionQueue::AdmissionQueue(AdmissionQueueOptions options)
 
 Status AdmissionQueue::Push(QueuedRequest item) {
   if (TREEWM_FAULT_FIRED("serve.admission.full")) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++stats_.rejected_full;
     return Status::ResourceExhausted("admission queue full (injected)");
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (shutting_down_) {
-    ++stats_.rejected_shutdown;
-    return Status::FailedPrecondition("serving front-end is shutting down");
-  }
-  // Shedding outranks the overflow policy: past the high-water mark even a
-  // blocking producer is turned away immediately — waiting would only add
-  // latency to a request that is already late.
-  if (options_.shed_high_water > 0 && items_.size() >= options_.shed_high_water) {
-    ++stats_.rejected_shed;
-    return Status::ResourceExhausted(
-        StrFormat("load shed: queue depth %zu at high-water %zu", items_.size(),
-                  options_.shed_high_water));
-  }
-  if (items_.size() >= options_.capacity) {
-    if (options_.policy == OverflowPolicy::kReject) {
-      ++stats_.rejected_full;
-      return Status::ResourceExhausted(
-          StrFormat("admission queue full (capacity %zu)", options_.capacity));
-    }
-    // kBlockWithDeadline: wait for a slot until the request's own deadline.
-    while (items_.size() >= options_.capacity && !shutting_down_) {
-      if (item.deadline == kNoDeadline) {
-        space_ready_.wait(lock);
-        continue;
-      }
-      const auto now = clock_->Now();
-      if (now >= item.deadline) {
-        ++stats_.expired_blocking;
-        return Status::DeadlineExceeded("admission queue full past request deadline");
-      }
-      space_ready_.wait_for(lock, item.deadline - now);
-    }
+  {
+    MutexLock lock(&mutex_);
     if (shutting_down_) {
       ++stats_.rejected_shutdown;
       return Status::FailedPrecondition("serving front-end is shutting down");
     }
+    // Shedding outranks the overflow policy: past the high-water mark even a
+    // blocking producer is turned away immediately — waiting would only add
+    // latency to a request that is already late.
+    if (options_.shed_high_water > 0 && items_.size() >= options_.shed_high_water) {
+      ++stats_.rejected_shed;
+      return Status::ResourceExhausted(
+          StrFormat("load shed: queue depth %zu at high-water %zu", items_.size(),
+                    options_.shed_high_water));
+    }
+    if (items_.size() >= options_.capacity) {
+      if (options_.policy == OverflowPolicy::kReject) {
+        ++stats_.rejected_full;
+        return Status::ResourceExhausted(
+            StrFormat("admission queue full (capacity %zu)", options_.capacity));
+      }
+      // kBlockWithDeadline: wait for a slot until the request's own deadline.
+      while (items_.size() >= options_.capacity && !shutting_down_) {
+        if (item.deadline == kNoDeadline) {
+          space_ready_.Wait(lock);
+          continue;
+        }
+        const auto now = clock_->Now();
+        if (now >= item.deadline) {
+          ++stats_.expired_blocking;
+          return Status::DeadlineExceeded("admission queue full past request deadline");
+        }
+        // discard ok: timeout vs notify is re-derived from the loop condition
+        (void)space_ready_.WaitFor(lock, item.deadline - now);
+      }
+      if (shutting_down_) {
+        ++stats_.rejected_shutdown;
+        return Status::FailedPrecondition("serving front-end is shutting down");
+      }
+    }
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
   }
-  items_.push_back(std::move(item));
-  ++stats_.pushed;
-  stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
-  lock.unlock();
-  item_ready_.notify_one();
+  item_ready_.NotifyOne();
   return Status::OK();
 }
 
-bool AdmissionQueue::PopLocked(QueuedRequest* out,
-                               std::unique_lock<std::mutex>& lock) {
+bool AdmissionQueue::PopLocked(QueuedRequest* out) {
   if (items_.empty()) return false;
   *out = std::move(items_.front());
   items_.pop_front();
   ++stats_.popped;
-  lock.unlock();
-  space_ready_.notify_one();
   return true;
 }
 
 bool AdmissionQueue::Pop(QueuedRequest* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  item_ready_.wait(lock, [this] { return shutting_down_ || !items_.empty(); });
-  return PopLocked(out, lock);
+  bool popped = false;
+  {
+    MutexLock lock(&mutex_);
+    while (!shutting_down_ && items_.empty()) item_ready_.Wait(lock);
+    popped = PopLocked(out);
+  }
+  if (popped) space_ready_.NotifyOne();
+  return popped;
 }
 
 bool AdmissionQueue::PopUntil(QueuedRequest* out, std::chrono::nanoseconds until) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (items_.empty() && !shutting_down_) {
-    if (until == kNoDeadline) {
-      item_ready_.wait(lock);
-      continue;
+  bool popped = false;
+  {
+    MutexLock lock(&mutex_);
+    while (items_.empty() && !shutting_down_) {
+      if (until == kNoDeadline) {
+        item_ready_.Wait(lock);
+        continue;
+      }
+      const auto now = clock_->Now();
+      if (now >= until) return false;
+      // discard ok: timeout vs notify is re-derived from the loop condition
+      (void)item_ready_.WaitFor(lock, until - now);
     }
-    const auto now = clock_->Now();
-    if (now >= until) return false;
-    item_ready_.wait_for(lock, until - now);
+    popped = PopLocked(out);
   }
-  return PopLocked(out, lock);
+  if (popped) space_ready_.NotifyOne();
+  return popped;
 }
 
 bool AdmissionQueue::TryPop(QueuedRequest* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return PopLocked(out, lock);
+  bool popped = false;
+  {
+    MutexLock lock(&mutex_);
+    popped = PopLocked(out);
+  }
+  if (popped) space_ready_.NotifyOne();
+  return popped;
 }
 
 void AdmissionQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  item_ready_.notify_all();
-  space_ready_.notify_all();
+  item_ready_.NotifyAll();
+  space_ready_.NotifyAll();
 }
 
 bool AdmissionQueue::IsShutdown() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return shutting_down_;
 }
 
 size_t AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return items_.size();
 }
 
 AdmissionQueueStats AdmissionQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 

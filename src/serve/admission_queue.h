@@ -23,12 +23,12 @@
 #define TREEWM_SERVE_ADMISSION_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "serve/request.h"
 
@@ -78,43 +78,46 @@ class AdmissionQueue {
   /// was NOT admitted and the caller still owns its promise.
   /// Fault site "serve.admission.full": a fired hit behaves as an
   /// instantaneous full queue regardless of actual depth.
-  Status Push(QueuedRequest item);
+  [[nodiscard]] Status Push(QueuedRequest item) TREEWM_EXCLUDES(mutex_);
 
   /// Pops the oldest request, blocking until one is available or the queue
   /// is shut down AND drained (returns false — the consumer can stop).
-  bool Pop(QueuedRequest* out);
+  bool Pop(QueuedRequest* out) TREEWM_EXCLUDES(mutex_);
 
   /// Like Pop but gives up (returns false) once the clock passes `until`.
   /// A false return means timeout OR shutdown-and-drained; check
   /// IsShutdown()/depth() to distinguish.
-  bool PopUntil(QueuedRequest* out, std::chrono::nanoseconds until);
+  bool PopUntil(QueuedRequest* out, std::chrono::nanoseconds until)
+      TREEWM_EXCLUDES(mutex_);
 
   /// Non-blocking Pop.
-  bool TryPop(QueuedRequest* out);
+  bool TryPop(QueuedRequest* out) TREEWM_EXCLUDES(mutex_);
 
   /// Closes admission. Queued requests remain poppable; once empty, Pop
   /// returns false. Idempotent.
-  void Shutdown();
+  void Shutdown() TREEWM_EXCLUDES(mutex_);
 
-  bool IsShutdown() const;
+  bool IsShutdown() const TREEWM_EXCLUDES(mutex_);
 
   /// Current queue depth.
-  size_t depth() const;
+  size_t depth() const TREEWM_EXCLUDES(mutex_);
 
-  AdmissionQueueStats stats() const;
+  AdmissionQueueStats stats() const TREEWM_EXCLUDES(mutex_);
 
  private:
-  bool PopLocked(QueuedRequest* out, std::unique_lock<std::mutex>& lock);
+  /// Pops the FIFO front into *out if non-empty. The caller notifies
+  /// space_ready_ AFTER releasing the lock on a true return.
+  bool PopLocked(QueuedRequest* out) TREEWM_REQUIRES(mutex_);
 
   const AdmissionQueueOptions options_;
   Clock* const clock_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable item_ready_;
-  std::condition_variable space_ready_;
-  std::deque<QueuedRequest> items_;
-  bool shutting_down_ = false;
-  AdmissionQueueStats stats_;
+  mutable Mutex mutex_;
+  CondVar item_ready_;
+  CondVar space_ready_;
+  std::deque<QueuedRequest> items_ TREEWM_GUARDED_BY(mutex_);
+  bool shutting_down_ TREEWM_GUARDED_BY(mutex_) = false;
+  AdmissionQueueStats stats_ TREEWM_GUARDED_BY(mutex_);
 };
 
 }  // namespace treewm::serve

@@ -13,6 +13,13 @@
 // a FakeClock and zero sleeps. Batch composition can never change results:
 // BatchPredictor's per-row outputs are bit-exact and row-independent, so
 // packing is purely a throughput/latency dial.
+//
+// Concurrency: the batcher carries no lock of its own — it is an
+// EXTERNALLY guarded capability. ServingFrontEnd declares its instance
+// `Batcher batcher_ TREEWM_GUARDED_BY(dispatch_mutex_)`, so clang's
+// thread-safety analysis proves every access (dispatcher loop, manual
+// Pump, shutdown drain) happens under that one mutex. A standalone Batcher
+// (unit tests) needs no lock because there is exactly one driver.
 
 #ifndef TREEWM_SERVE_BATCHER_H_
 #define TREEWM_SERVE_BATCHER_H_

@@ -72,7 +72,7 @@ bool IsRetryableStatus(const Status& status);
 namespace internal {
 inline const Status& StatusOf(const Status& status) { return status; }
 template <typename T>
-Status StatusOf(const Result<T>& result) {
+[[nodiscard]] Status StatusOf(const Result<T>& result) {
   return result.status();
 }
 }  // namespace internal

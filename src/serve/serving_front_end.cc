@@ -45,7 +45,16 @@ ServingFrontEnd::ServingFrontEnd(
       queue_(options_.queue),
       batcher_(options_.batch) {
   if (options_.start_dispatcher) {
-    dispatcher_ = std::thread([this] { DispatcherLoop(); });
+    dispatcher_pool_ = std::make_unique<ThreadPool>(1);
+    Status submitted = dispatcher_pool_->Submit([this] { DispatcherLoop(); });
+    if (!submitted.ok()) {
+      // A fresh 1-thread pool only rejects under an injected fault; fall
+      // back to manual (Pump) mode rather than losing the dispatcher
+      // silently — Shutdown() still drains every accepted request.
+      LogWarning("serve: dispatcher submit rejected, falling back to manual mode: " +
+                 submitted.ToString());
+      dispatcher_pool_.reset();
+    }
   }
 }
 
@@ -90,7 +99,7 @@ Result<PredictResult> ServingFrontEnd::Predict(std::span<const float> x,
   return SubmitPredict(x, options).get();
 }
 
-void ServingFrontEnd::UpdateDegradation() {
+void ServingFrontEnd::UpdateDegradationLocked() {
   if (options_.degrade_depth == 0) return;
   if (queue_.depth() >= options_.degrade_depth) {
     batcher_.set_delay_override(std::chrono::nanoseconds{0});
@@ -99,7 +108,7 @@ void ServingFrontEnd::UpdateDegradation() {
   }
 }
 
-size_t ServingFrontEnd::FlushBatch() {
+size_t ServingFrontEnd::FlushBatchLocked() {
   const bool degraded =
       batcher_.effective_delay() != batcher_.options().max_batch_delay;
   std::vector<QueuedRequest> batch = batcher_.TakeBatch();
@@ -128,6 +137,7 @@ size_t ServingFrontEnd::FlushBatch() {
 
   // Fault site: stall between batch formation and the predictor call —
   // where deadline-at-completion and mid-batch-shutdown races live.
+  // discard ok: the stall's side effect is the point; firing is not an error
   (void)TREEWM_FAULT_FIRED("serve.batch.stall");
 
   data::Dataset rows(ensemble_->num_features());
@@ -135,6 +145,8 @@ size_t ServingFrontEnd::FlushBatch() {
   for (const QueuedRequest& request : live) {
     // Feature count was validated at submit; the label is a placeholder
     // (prediction never reads it).
+    // discard ok: AddRow only fails on a feature-count mismatch, checked at
+    // submit against the same immutable ensemble
     (void)rows.AddRow(request.features, data::kPositive);
   }
   const predict::VoteMatrix votes = predictor_.PredictAllVotes(rows);
@@ -172,20 +184,29 @@ size_t ServingFrontEnd::FlushBatch() {
 
 void ServingFrontEnd::DispatcherLoop() {
   while (true) {
-    UpdateDegradation();
-    if (batcher_.ShouldFlush(clock_->Now())) {
-      FlushBatch();
-      continue;
+    std::chrono::nanoseconds next_flush;
+    {
+      MutexLock lock(&dispatch_mutex_);
+      UpdateDegradationLocked();
+      if (batcher_.ShouldFlush(clock_->Now())) {
+        FlushBatchLocked();
+        continue;
+      }
+      next_flush = batcher_.NextFlushAt();
     }
+    // Block on the queue WITHOUT dispatch_mutex_: admission must never wait
+    // behind a batch in flight.
     QueuedRequest request;
-    if (queue_.PopUntil(&request, batcher_.NextFlushAt())) {
+    if (queue_.PopUntil(&request, next_flush)) {
+      MutexLock lock(&dispatch_mutex_);
       batcher_.Add(std::move(request));
       continue;
     }
     // Woke without an item: either the pending batch came due (handled at
     // the top of the loop) or the queue is shut down and drained.
     if (queue_.IsShutdown() && queue_.depth() == 0) {
-      while (!batcher_.empty()) FlushBatch();
+      MutexLock lock(&dispatch_mutex_);
+      while (!batcher_.empty()) FlushBatchLocked();
       return;
     }
   }
@@ -195,24 +216,28 @@ void ServingFrontEnd::Shutdown() {
   bool expected = false;
   if (!shutdown_started_.compare_exchange_strong(expected, true)) return;
   queue_.Shutdown();
-  if (dispatcher_.joinable()) {
-    dispatcher_.join();
+  if (dispatcher_pool_ != nullptr) {
+    // Drain-on-shutdown joins the pool only after DispatcherLoop returns,
+    // and the loop exits once the queue is shut down and drained.
+    dispatcher_pool_->Shutdown();
   } else {
     // Manual mode: drain inline so every accepted promise is completed.
+    MutexLock lock(&dispatch_mutex_);
     QueuedRequest request;
     while (queue_.TryPop(&request)) batcher_.Add(std::move(request));
-    while (!batcher_.empty()) FlushBatch();
+    while (!batcher_.empty()) FlushBatchLocked();
   }
 }
 
 size_t ServingFrontEnd::Pump(bool force_flush) {
-  UpdateDegradation();
+  MutexLock lock(&dispatch_mutex_);
+  UpdateDegradationLocked();
   QueuedRequest request;
   while (queue_.TryPop(&request)) batcher_.Add(std::move(request));
   size_t answered = 0;
-  while (batcher_.ShouldFlush(clock_->Now())) answered += FlushBatch();
+  while (batcher_.ShouldFlush(clock_->Now())) answered += FlushBatchLocked();
   if (force_flush) {
-    while (!batcher_.empty()) answered += FlushBatch();
+    while (!batcher_.empty()) answered += FlushBatchLocked();
   }
   return answered;
 }

@@ -32,11 +32,13 @@
 #include <future>
 #include <memory>
 #include <span>
-#include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "predict/batch_predictor.h"
 #include "serve/admission_queue.h"
 #include "serve/batcher.h"
@@ -90,7 +92,7 @@ class ServingFrontEnd {
  public:
   /// Validates options and the ensemble (classification only — per-tree ±1
   /// votes are what verification consumes) and starts the dispatcher.
-  static Result<std::unique_ptr<ServingFrontEnd>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<ServingFrontEnd>> Create(
       std::shared_ptr<const predict::FlatEnsemble> ensemble,
       ServingOptions options);
 
@@ -106,18 +108,18 @@ class ServingFrontEnd {
                                                    const RequestOptions& options = {});
 
   /// Blocking convenience wrapper over SubmitPredict.
-  Result<PredictResult> Predict(std::span<const float> x,
+  [[nodiscard]] Result<PredictResult> Predict(std::span<const float> x,
                                 const RequestOptions& options = {});
 
   /// Stops admission, drains the queue and batcher (every accepted request
   /// is answered), and joins the dispatcher. Idempotent.
-  void Shutdown();
+  void Shutdown() TREEWM_EXCLUDES(dispatch_mutex_);
 
   /// Manual-mode pump: moves every currently queued request into the
   /// batcher and flushes while a batch is due (always flushes a non-empty
   /// batcher when `force_flush`). Returns the number of requests answered.
   /// Only meaningful with start_dispatcher = false.
-  size_t Pump(bool force_flush = false);
+  size_t Pump(bool force_flush = false) TREEWM_EXCLUDES(dispatch_mutex_);
 
   ServingStats stats() const;
 
@@ -128,20 +130,30 @@ class ServingFrontEnd {
   ServingFrontEnd(std::shared_ptr<const predict::FlatEnsemble> ensemble,
                   ServingOptions options);
 
-  void DispatcherLoop();
+  void DispatcherLoop() TREEWM_EXCLUDES(dispatch_mutex_);
   /// Applies the degradation dial from the current queue depth.
-  void UpdateDegradation();
+  void UpdateDegradationLocked() TREEWM_REQUIRES(dispatch_mutex_);
   /// Dispatches one batch from the batcher: expires stale requests, runs
   /// the predictor, completes every promise. Returns requests answered.
-  size_t FlushBatch();
+  size_t FlushBatchLocked() TREEWM_REQUIRES(dispatch_mutex_);
 
   std::shared_ptr<const predict::FlatEnsemble> ensemble_;
   ServingOptions options_;
   Clock* clock_;
   predict::BatchPredictor predictor_;
   AdmissionQueue queue_;
-  Batcher batcher_;
-  std::thread dispatcher_;
+
+  /// Serializes all batcher access. By design exactly one driver runs at a
+  /// time (the dispatcher thread, OR manual Pump()/Shutdown-drain); the
+  /// mutex makes that contract explicit to the analysis — and makes even a
+  /// misuse (concurrent Pump calls) safe instead of a data race. Never held
+  /// while blocking on the admission queue.
+  mutable Mutex dispatch_mutex_;
+  Batcher batcher_ TREEWM_GUARDED_BY(dispatch_mutex_);
+
+  /// Hosts DispatcherLoop (1 worker); null in manual (Pump) mode. A pool,
+  /// not a naked std::thread: drain-on-shutdown is the join protocol.
+  std::unique_ptr<ThreadPool> dispatcher_pool_;
   std::atomic<bool> shutdown_started_{false};
   std::atomic<uint64_t> next_id_{1};
 

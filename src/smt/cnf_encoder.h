@@ -33,7 +33,7 @@ struct CnfEncodingStats {
 /// exhausted).
 class CnfForgeryBackend {
  public:
-  static Result<ForgeryOutcome> Solve(const forest::RandomForest& forest,
+  [[nodiscard]] static Result<ForgeryOutcome> Solve(const forest::RandomForest& forest,
                                       const ForgeryQuery& query,
                                       const sat::SolveBudget& budget = {},
                                       CnfEncodingStats* stats_out = nullptr);

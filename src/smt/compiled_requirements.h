@@ -35,7 +35,7 @@ class CompiledRequirements {
  public:
   /// Compiles the requirements for (forest, signature_bits, target_label).
   /// Validates like BuildTreeRequirements (signature length, label ∈ {±1}).
-  static Result<std::shared_ptr<const CompiledRequirements>> Compile(
+  [[nodiscard]] static Result<std::shared_ptr<const CompiledRequirements>> Compile(
       const forest::RandomForest& forest,
       const std::vector<uint8_t>& signature_bits, int target_label);
 

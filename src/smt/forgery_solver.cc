@@ -124,7 +124,7 @@ void ApplyOption(SearchState* state, uint32_t o) {
   for (uint32_t c = cb[o]; c < cb[o + 1]; ++c) {
     const bool ok = ConstrainAndPropagate(state, cf[c], clo[c], chi[c]);
     assert(ok);
-    (void)ok;
+    (void)ok;  // discard ok: asserted above; options are pre-filtered to feasible
   }
 }
 

@@ -47,7 +47,7 @@ namespace treewm::smt {
 /// live in the normalized [0,1] feature domain, where ε >= 1 removes the
 /// distortion bound entirely and ε = 0 is an exact-match query that cannot
 /// forge anything new (see forgery_attack.h).
-Status ValidateBallGeometry(double epsilon, double domain_lo, double domain_hi);
+[[nodiscard]] Status ValidateBallGeometry(double epsilon, double domain_lo, double domain_hi);
 
 /// One forgery query: find x with t_i(x) = label ⇔ bits[i] = 0, subject to
 /// x ∈ [domain_lo, domain_hi]^d and, when `anchor` is non-empty,
@@ -114,13 +114,13 @@ class ForgerySolver {
   /// Decides `query` against `forest` (compiles the requirement arena for
   /// this one query; use the CompiledRequirements overload or SolveBatch to
   /// amortize the build across queries).
-  static Result<ForgeryOutcome> Solve(const forest::RandomForest& forest,
+  [[nodiscard]] static Result<ForgeryOutcome> Solve(const forest::RandomForest& forest,
                                       const ForgeryQuery& query);
 
   /// Same, over a pre-compiled arena. `compiled` must have been built from
   /// `forest` with the query's signature bits and target label (verified;
   /// mismatch is an InvalidArgument).
-  static Result<ForgeryOutcome> Solve(const forest::RandomForest& forest,
+  [[nodiscard]] static Result<ForgeryOutcome> Solve(const forest::RandomForest& forest,
                                       const CompiledRequirements& compiled,
                                       const ForgeryQuery& query);
 
@@ -132,7 +132,7 @@ class ForgerySolver {
   /// through one PatternHoldsBatch call per label at the end. Outcomes are
   /// bit-identical to calling the scalar Solve per row, at every thread
   /// count. `cache` (optional) reuses arenas across calls.
-  static Result<std::vector<ForgeryOutcome>> SolveBatch(
+  [[nodiscard]] static Result<std::vector<ForgeryOutcome>> SolveBatch(
       const forest::RandomForest& forest, const ForgeryBatchQuery& query,
       const data::Dataset& anchors, ForgeryArenaCache* cache = nullptr);
 

@@ -37,7 +37,7 @@ int RequiredLabel(int target_label, uint8_t signature_bit);
 
 /// Builds the per-tree requirements for the forgery query (ensemble, σ', y).
 /// `signature_bits.size()` must equal the number of trees.
-Result<std::vector<TreeRequirement>> BuildTreeRequirements(
+[[nodiscard]] Result<std::vector<TreeRequirement>> BuildTreeRequirements(
     const forest::RandomForest& forest, const std::vector<uint8_t>& signature_bits,
     int target_label);
 

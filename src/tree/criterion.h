@@ -18,7 +18,7 @@ namespace treewm::tree {
 enum class SplitCriterion { kGini, kEntropy };
 
 /// Parses "gini" / "entropy".
-Result<SplitCriterion> SplitCriterionFromName(const std::string& name);
+[[nodiscard]] Result<SplitCriterion> SplitCriterionFromName(const std::string& name);
 
 /// Stable name for serialization.
 const char* SplitCriterionName(SplitCriterion criterion);

@@ -45,7 +45,7 @@ struct TreeConfig {
   size_t min_samples_leaf = 1;
 
   /// Validates parameter ranges.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// An immutable trained decision tree.
@@ -59,7 +59,7 @@ class DecisionTree {
   /// amortize the one-time column sort across many trees (forests, boosting
   /// rounds, weight-boosting retrains); nullptr builds it internally.
   /// Bit-identical to FitReference by the trainer equivalence contract.
-  static Result<DecisionTree> Fit(const data::Dataset& dataset,
+  [[nodiscard]] static Result<DecisionTree> Fit(const data::Dataset& dataset,
                                   const std::vector<double>& weights,
                                   const TreeConfig& config,
                                   const std::vector<int>& feature_subset = {},
@@ -68,7 +68,7 @@ class DecisionTree {
   /// The retained naive trainer (per-node re-sorting Splitter) — the
   /// executable specification Fit is property-tested against, kept the way
   /// predict/reference.h keeps the scalar inference loops.
-  static Result<DecisionTree> FitReference(const data::Dataset& dataset,
+  [[nodiscard]] static Result<DecisionTree> FitReference(const data::Dataset& dataset,
                                            const std::vector<double>& weights,
                                            const TreeConfig& config,
                                            const std::vector<int>& feature_subset = {});
@@ -124,11 +124,11 @@ class DecisionTree {
 
   /// Serialization.
   JsonValue ToJson() const;
-  static Result<DecisionTree> FromJson(const JsonValue& json);
+  [[nodiscard]] static Result<DecisionTree> FromJson(const JsonValue& json);
 
   /// Builds a tree directly from nodes (used by the 3SAT reduction and
   /// tests). Validates structural well-formedness.
-  static Result<DecisionTree> FromNodes(std::vector<TreeNode> nodes,
+  [[nodiscard]] static Result<DecisionTree> FromNodes(std::vector<TreeNode> nodes,
                                         size_t num_features);
 
   /// Structural equality (same nodes in the same order).

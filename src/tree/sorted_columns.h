@@ -63,7 +63,7 @@ class SortedColumns {
 /// InvalidArgument unless `sorted` (when non-null) was built for a dataset
 /// of exactly `dataset`'s shape — the one shape contract every trainer that
 /// accepts prebuilt columns enforces.
-Status ValidateColumnsMatch(const SortedColumns* sorted,
+[[nodiscard]] Status ValidateColumnsMatch(const SortedColumns* sorted,
                             const data::Dataset& dataset);
 
 }  // namespace treewm::tree

@@ -6,8 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <thread>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace treewm {
 namespace {
@@ -116,13 +117,16 @@ TEST_F(FaultInjectionTest, ConcurrentHitsAreCountedExactly) {
   FaultSpec spec;
   spec.probability = 0.0;  // count hits without firing
   ScopedFault fault("site.mt", spec);
-  std::vector<std::thread> threads;
+  ThreadPool hammer(4);
   for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([] {
-      for (int i = 0; i < 250; ++i) (void)TREEWM_FAULT_FIRED("site.mt");
-    });
+    ASSERT_TRUE(hammer
+                    .Submit([] {
+                      // discard ok: probability 0.0 — only the hit count matters
+                      for (int i = 0; i < 250; ++i) (void)TREEWM_FAULT_FIRED("site.mt");
+                    })
+                    .ok());
   }
-  for (auto& t : threads) t.join();
+  hammer.Wait();
   EXPECT_EQ(fault.hits(), 1000u);
 }
 

@@ -6,6 +6,7 @@
 
 #include <set>
 
+#include "common/fault_injection.h"
 #include "data/synthetic.h"
 
 namespace treewm::forest {
@@ -104,6 +105,39 @@ TEST(GridSearchTest, AccuracyTableIsThreadCountInvariant) {
     EXPECT_EQ(parallel.best.max_depth, serial.best.max_depth);
     EXPECT_EQ(parallel.best.max_leaf_nodes, serial.best.max_leaf_nodes);
   }
+}
+
+TEST(GridSearchTest, RejectedSubmitFallsBackInlineWithIdenticalResults) {
+  // When the pool refuses work (e.g. shutdown racing a search, simulated
+  // here by arming the Submit fault site), ParallelFor runs the rejected
+  // grid points inline on the caller. That degraded path must produce the
+  // SAME accuracy table bit-for-bit — seeds are pre-drawn in grid order and
+  // results land in fixed slots, so where a point executes cannot matter.
+  auto d = data::synthetic::MakeBlobs(8, 240, 5, 1.2);
+  GridSearchConfig config;
+  config.max_depth_grid = {2, 4, -1};
+  config.max_leaf_nodes_grid = {6, -1};
+  config.num_folds = 3;
+  config.num_threads = 1;
+  auto serial = GridSearch(d, 5, config).MoveValue();
+  ASSERT_EQ(serial.evaluated.size(), 6u);
+
+  ScopedFault fault("thread_pool.submit.reject", FaultSpec{});
+  config.num_threads = 4;
+  auto degraded = GridSearch(d, 5, config).MoveValue();
+  EXPECT_GT(fault.fires(), 0u);  // the rejection path actually ran
+  ASSERT_EQ(degraded.evaluated.size(), serial.evaluated.size());
+  for (size_t p = 0; p < serial.evaluated.size(); ++p) {
+    EXPECT_EQ(degraded.evaluated[p].config.max_depth,
+              serial.evaluated[p].config.max_depth);
+    EXPECT_EQ(degraded.evaluated[p].config.max_leaf_nodes,
+              serial.evaluated[p].config.max_leaf_nodes);
+    EXPECT_EQ(degraded.evaluated[p].cv_accuracy, serial.evaluated[p].cv_accuracy)
+        << "point=" << p;
+  }
+  EXPECT_EQ(degraded.best_accuracy, serial.best_accuracy);
+  EXPECT_EQ(degraded.best.max_depth, serial.best.max_depth);
+  EXPECT_EQ(degraded.best.max_leaf_nodes, serial.best.max_leaf_nodes);
 }
 
 TEST(GridSearchTest, RejectsEmptyGrid) {

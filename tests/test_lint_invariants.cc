@@ -1,0 +1,60 @@
+// Ties the project-invariant linter (tools/lint_invariants.py) into the
+// tier-1 test suite:
+//   * the linter's own fixtures must each fire EXACTLY their rule (and the
+//     clean fixture none) — so a linter regression fails tests, not review;
+//   * the repository tree itself must lint clean — so a new naked mutex,
+//     unseeded rand() or untagged (void)Status discard fails tests locally,
+//     not first in CI.
+//
+// TREEWM_SOURCE_DIR is injected by CMakeLists.txt. Skips (GTEST_SKIP) when
+// python3 is unavailable; the CI static-analysis job runs the linter
+// directly and remains the enforcing gate.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef TREEWM_SOURCE_DIR
+#error "TREEWM_SOURCE_DIR must be defined (see CMakeLists.txt)"
+#endif
+
+int RunCommand(const std::string& command) {
+  const int raw = std::system(command.c_str());
+  if (raw == -1 || !WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+}
+
+bool HavePython3() {
+  return RunCommand("python3 --version > /dev/null 2>&1") == 0;
+}
+
+std::string LinterCommand(const std::string& extra_args) {
+  std::string cmd = "python3 \"";
+  cmd += TREEWM_SOURCE_DIR;
+  cmd += "/tools/lint_invariants.py\" --root \"";
+  cmd += TREEWM_SOURCE_DIR;
+  cmd += "\"";
+  if (!extra_args.empty()) cmd += " " + extra_args;
+  return cmd;
+}
+
+TEST(LintInvariantsTest, FixturesFireExactlyTheirRules) {
+  if (!HavePython3()) GTEST_SKIP() << "python3 not on PATH";
+  // --self-test checks every `// expect-lint: <rule>` marker in
+  // tools/lint_fixtures/ two-sidedly: the marked line fires exactly that
+  // rule, and no unmarked line fires anything.
+  EXPECT_EQ(RunCommand(LinterCommand("--self-test")), 0)
+      << "linter self-test failed; run tools/lint_invariants.py --self-test";
+}
+
+TEST(LintInvariantsTest, RepositoryTreeIsClean) {
+  if (!HavePython3()) GTEST_SKIP() << "python3 not on PATH";
+  EXPECT_EQ(RunCommand(LinterCommand("")), 0)
+      << "tree has invariant violations; run tools/lint_invariants.py";
+}
+
+}  // namespace

@@ -5,8 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace treewm {
 namespace {
@@ -53,16 +53,18 @@ TEST(ShouldLogEveryNTest, ConcurrentCallsEmitExactlyOncePerWindow) {
   // matter how the threads interleave (the counter is one atomic).
   LogEveryNState state;
   std::atomic<int> emitted{0};
-  std::vector<std::thread> threads;
+  ThreadPool hammer(4);
   for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&state, &emitted] {
-      for (int i = 0; i < 250; ++i) {
-        uint64_t suppressed = 0;
-        if (ShouldLogEveryN(&state, 100, &suppressed)) ++emitted;
-      }
-    });
+    ASSERT_TRUE(hammer
+                    .Submit([&state, &emitted] {
+                      for (int i = 0; i < 250; ++i) {
+                        uint64_t suppressed = 0;
+                        if (ShouldLogEveryN(&state, 100, &suppressed)) ++emitted;
+                      }
+                    })
+                    .ok());
   }
-  for (auto& t : threads) t.join();
+  hammer.Wait();
   EXPECT_EQ(emitted.load(), 10);
 }
 

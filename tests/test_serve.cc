@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "forest/random_forest.h"
 #include "predict/flat_ensemble.h"
@@ -157,8 +158,10 @@ TEST(AdmissionQueueTest, BlockingPushUnblocksWhenConsumerFreesSpace) {
   options.policy = OverflowPolicy::kBlockWithDeadline;
   AdmissionQueue queue(options);
   ASSERT_TRUE(queue.Push(MakeRequest(1)).ok());
+  // lint ok: blocking Push parks on a real CV; only a raw racing thread +
+  // real sleep can free space mid-wait (no FakeClock path through a parked CV)
   std::thread consumer([&queue] {
-    std::this_thread::sleep_for(milliseconds(10));
+    std::this_thread::sleep_for(milliseconds(10));  // lint ok: see above
     QueuedRequest out;
     ASSERT_TRUE(queue.TryPop(&out));
   });
@@ -182,8 +185,10 @@ TEST(AdmissionQueueTest, PopUntilGivesUpAtTheGivenTime) {
 TEST(AdmissionQueueTest, PopWakesOnShutdown) {
   AdmissionQueueOptions options;
   AdmissionQueue queue(options);
+  // lint ok: Shutdown must interrupt a Pop parked on a real CV — needs a raw
+  // racing thread and a real delay, not FakeClock
   std::thread closer([&queue] {
-    std::this_thread::sleep_for(milliseconds(5));
+    std::this_thread::sleep_for(milliseconds(5));  // lint ok: see above
     queue.Shutdown();
   });
   QueuedRequest out;
@@ -430,16 +435,18 @@ TEST_F(ServingFrontEndTest, BackgroundDispatcherServesConcurrentClients) {
   auto trace = data::synthetic::MakeBlobs(10, 200, 6, 1.5);
   std::vector<Result<PredictResult>> results(trace.num_rows(),
                                              Status::Internal("unset"));
-  std::vector<std::thread> clients;
   const size_t kClients = 4;
+  ThreadPool clients(kClients);
   for (size_t c = 0; c < kClients; ++c) {
-    clients.emplace_back([&, c] {
-      for (size_t i = c; i < trace.num_rows(); i += kClients) {
-        results[i] = serving->Predict(trace.Row(i));
-      }
-    });
+    ASSERT_TRUE(clients
+                    .Submit([&, c] {
+                      for (size_t i = c; i < trace.num_rows(); i += kClients) {
+                        results[i] = serving->Predict(trace.Row(i));
+                      }
+                    })
+                    .ok());
   }
-  for (auto& t : clients) t.join();
+  clients.Wait();
   serving->Shutdown();
   for (size_t i = 0; i < trace.num_rows(); ++i) {
     ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();

@@ -17,7 +17,9 @@ namespace {
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
-  for (int i = 0; i < 100; ++i) pool.Submit([&counter] { ++counter; });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+  }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
 }
@@ -25,11 +27,11 @@ TEST(ThreadPoolTest, RunsAllTasks) {
 TEST(ThreadPoolTest, WaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
-  pool.Submit([&counter] { ++counter; });
+  ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
-  pool.Submit([&counter] { ++counter; });
-  pool.Submit([&counter] { ++counter; });
+  ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+  ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
   pool.Wait();
   EXPECT_EQ(counter.load(), 3);
 }
@@ -38,7 +40,7 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
   std::atomic<int> counter{0};
-  pool.Submit([&counter] { ++counter; });
+  ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
 }
@@ -47,7 +49,9 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
   std::atomic<int> counter{0};
   {
     ThreadPool pool(3);
-    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { ++counter; });
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+    }
   }
   EXPECT_EQ(counter.load(), 50);
 }
@@ -108,6 +112,7 @@ TEST(ThreadPoolShutdownTest, TasksAcceptedBeforeShutdownAllRun) {
   int accepted = 0;
   for (int i = 0; i < 200; ++i) {
     Status st = pool.Submit([&counter] {
+      // lint ok: tasks must outlast the Shutdown call to build a real backlog
       std::this_thread::sleep_for(std::chrono::microseconds(50));
       ++counter;
     });
@@ -133,9 +138,11 @@ TEST(ThreadPoolShutdownTest, ShutdownIsIdempotentAndConcurrencySafe) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
   for (int i = 0; i < 64; ++i) {
-    (void)pool.Submit([&counter] { ++counter; });
+    // All 64 land before any closer runs, so acceptance is guaranteed.
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
   }
   // Several threads race to shut down; all must return with the pool drained.
+  // lint ok: the pool under test is being shut down — the racers must be raw
   std::vector<std::thread> closers;
   for (int i = 0; i < 4; ++i) closers.emplace_back([&pool] { pool.Shutdown(); });
   for (auto& t : closers) t.join();
@@ -149,6 +156,8 @@ TEST(ThreadPoolShutdownTest, NoSilentDropsUnderConcurrentSubmitAndShutdown) {
   ThreadPool pool(2);
   std::atomic<int> ran{0};
   std::atomic<int> accepted{0};
+  // lint ok: producers must keep submitting THROUGH Shutdown on the pool
+  // under test — hosting them in another pool would serialize the race away
   std::vector<std::thread> producers;
   for (int p = 0; p < 4; ++p) {
     producers.emplace_back([&pool, &ran, &accepted] {
@@ -157,6 +166,8 @@ TEST(ThreadPoolShutdownTest, NoSilentDropsUnderConcurrentSubmitAndShutdown) {
       }
     });
   }
+  // lint ok: lets Shutdown land mid-stream of real submissions; no deadline
+  // logic — FakeClock cannot jitter a real race
   std::this_thread::sleep_for(std::chrono::microseconds(200));
   pool.Shutdown();
   for (auto& t : producers) t.join();

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Verifies the thread-safety annotations actually bite under clang:
+#   good.cc  (guarded access under MutexLock)  must compile clean;
+#   bad.cc   (same access without the lock)    must be REJECTED with a
+#            thread-safety diagnostic under -Wthread-safety -Werror.
+#
+# Without clang++ on PATH (e.g. the gcc-only dev container) the check exits
+# 77 — ctest's SKIP_RETURN_CODE — and CI's static-analysis job, which always
+# has clang, remains the enforcing gate. Override the compiler with CLANGXX.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+clang="${CLANGXX:-clang++}"
+
+if ! command -v "$clang" >/dev/null 2>&1; then
+  echo "thread_safety_smoke: no clang++ on PATH — skipping (CI enforces this)"
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only "-I$root/src"
+       -Wthread-safety -Wthread-safety-beta -Werror)
+
+if ! "$clang" "${flags[@]}" "$root/tools/thread_safety_smoke/good.cc"; then
+  echo "FAIL: good.cc must compile clean under -Wthread-safety"
+  exit 1
+fi
+
+err="$(mktemp)"
+trap 'rm -f "$err"' EXIT
+if "$clang" "${flags[@]}" "$root/tools/thread_safety_smoke/bad.cc" 2>"$err"; then
+  echo "FAIL: bad.cc compiled — the annotations are not biting under clang"
+  exit 1
+fi
+if ! grep -q "thread-safety" "$err"; then
+  echo "FAIL: bad.cc was rejected, but not by a thread-safety diagnostic:"
+  cat "$err"
+  exit 1
+fi
+
+echo "thread_safety_smoke: annotations bite (good.cc clean, bad.cc rejected)"

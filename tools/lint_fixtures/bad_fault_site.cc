@@ -1,0 +1,26 @@
+// Fixture: fault-site discipline. A duplicated site name and an
+// uncatalogued one; each marked line must fire exactly fault-site.
+// NEVER compiled.
+
+#include "common/fault_injection.h"
+
+namespace fixture {
+
+inline bool First() {
+  // "serve.batch.stall" is in the catalog, so the first use is clean...
+  return TREEWM_FAULT_FIRED("serve.batch.stall");
+}
+
+inline bool Second() {
+  // ...but a second code site reusing the name splits its blast radius.
+  return TREEWM_FAULT_FIRED("serve.batch.stall");    // expect-lint: fault-site
+}
+
+inline bool Undocumented() {
+  return TREEWM_FAULT_FIRED("fixture.not.in.catalog");  // expect-lint: fault-site
+}
+
+// A commented-out site must NOT register:
+// if (TREEWM_FAULT_FIRED("fixture.ghost.site")) return true;
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: concurrency primitives named directly instead of through the
+// annotated wrappers. Each marked line must fire exactly naked-primitive.
+// NEVER compiled — consumed by tools/lint_invariants.py --self-test.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct Widget {
+  std::mutex mu;                    // expect-lint: naked-primitive
+  std::condition_variable cv;       // expect-lint: naked-primitive
+};
+
+inline void Race() {
+  std::thread worker([] {});        // expect-lint: naked-primitive
+  worker.join();
+}
+
+// The static query is not a thread; must NOT fire.
+inline unsigned Cores() { return std::thread::hardware_concurrency(); }
+
+// Commented-out code must NOT fire: std::mutex backup_mu;
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: wall-clock sleeps where FakeClock + Pump() belong. Each marked
+// line must fire exactly sleep-in-test. NEVER compiled.
+
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+inline void FlakyWait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));   // expect-lint: sleep-in-test
+}
+
+inline void FlakyWaitUntil(std::chrono::steady_clock::time_point t) {
+  std::this_thread::sleep_until(t);                             // expect-lint: sleep-in-test
+}
+
+// A waived sleep (reason given) must NOT fire.
+inline void SanctionedWait() {
+  // lint ok: real-thread race setup, no deadline logic involved
+  std::this_thread::sleep_for(std::chrono::microseconds(10));
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: unseeded randomness. Each marked line must fire exactly
+// unseeded-random. NEVER compiled — linter self-test input only.
+
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int Roll() {
+  std::random_device entropy;       // expect-lint: unseeded-random
+  return static_cast<int>(entropy());
+}
+
+inline int LegacyRoll() {
+  return rand() % 6;                // expect-lint: unseeded-random
+}
+
+inline void LegacySeed() {
+  srand(42);                        // expect-lint: unseeded-random
+}
+
+// An identifier merely containing "rand" must NOT fire.
+inline int operand(int x) { return x; }
+inline int UsesOperand() { return operand(3); }
+
+}  // namespace fixture

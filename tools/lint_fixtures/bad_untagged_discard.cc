@@ -1,0 +1,29 @@
+// Fixture: (void) casts without the mandatory justification. Each marked
+// line must fire exactly untagged-discard. NEVER compiled.
+
+namespace fixture {
+
+struct [[nodiscard]] Outcome {
+  bool ok;
+};
+
+inline Outcome DoWork() { return {true}; }
+
+inline void Sloppy() {
+  (void)DoWork();                   // expect-lint: untagged-discard
+}
+
+inline void SloppyWithWrongComment() {
+  // TODO: check this someday
+  (void)DoWork();                   // expect-lint: untagged-discard
+}
+
+inline void Justified() {
+  // discard ok: warm-up call, outcome intentionally uncounted
+  (void)DoWork();
+}
+
+// A `(void)` parameter list is not a discard; must NOT fire.
+inline int NoArgs(void) { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: idiomatic treewm code — must produce ZERO findings even with
+// every rule applied. NEVER compiled.
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(int n) {
+    treewm::MutexLock lock(&mutex_);
+    total_ += n;
+  }
+
+ private:
+  treewm::Mutex mutex_;
+  int total_ TREEWM_GUARDED_BY(mutex_) = 0;
+};
+
+inline void FanOut(treewm::ThreadPool* pool) {
+  treewm::ParallelFor(pool, 8, [](size_t) {});
+}
+
+inline double Draw(uint64_t seed) {
+  treewm::Rng rng(seed);  // seeded: reproducible
+  return rng.UniformReal();
+}
+
+inline void Discarding() {
+  treewm::Status st = treewm::Status::OK();
+  // discard ok: fixture demonstrates the sanctioned suppression form
+  (void)st;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Thread-safety smoke (negative half): the same class as good.cc with the
+// lock dropped. clang -Wthread-safety -Werror must REFUSE to compile this —
+// if it compiles, the annotations have stopped biting (e.g. a macro became
+// a no-op under clang) and the smoke test fails the build.
+// Driven by tools/check_thread_safety_smoke.sh; never linked into treewm.
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Add(int n) {
+    total_ += n;  // unguarded write to a TREEWM_GUARDED_BY field
+  }
+
+  // Correctly guarded, so -Wunused-private-field cannot be the reason the
+  // file is rejected — only the thread-safety diagnostic on Add() can be.
+  int Total() {
+    treewm::MutexLock lock(&mutex_);
+    return total_;
+  }
+
+ private:
+  treewm::Mutex mutex_;
+  int total_ TREEWM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Add(1);
+  return 0;
+}

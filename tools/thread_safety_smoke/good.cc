@@ -1,0 +1,33 @@
+// Thread-safety smoke (positive half): idiomatic guarded access. Must
+// compile CLEAN under clang -Wthread-safety -Wthread-safety-beta -Werror.
+// Driven by tools/check_thread_safety_smoke.sh; never linked into treewm.
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Add(int n) {
+    treewm::MutexLock lock(&mutex_);
+    total_ += n;
+  }
+
+  int Total() {
+    treewm::MutexLock lock(&mutex_);
+    return total_;
+  }
+
+ private:
+  treewm::Mutex mutex_;
+  int total_ TREEWM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Add(1);
+  return g.Total() == 1 ? 0 : 1;
+}
