@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "predict/batch_predictor.h"
 #include "predict/flat_cache.h"
+#include "tree/histogram_core.h"
 
 namespace treewm::boosting {
 
@@ -14,6 +15,11 @@ Status GbdtConfig::Validate() const {
   if (num_trees == 0) return Status::InvalidArgument("num_trees must be >= 1");
   if (learning_rate <= 0.0 || learning_rate > 1.0) {
     return Status::InvalidArgument("learning_rate must be in (0,1]");
+  }
+  if (use_reference_trainer &&
+      tree.trainer_mode != tree::TrainerMode::kExact) {
+    return Status::InvalidArgument(
+        "the reference trainer is the exact-mode spec; it has no histogram mode");
   }
   return tree.Validate();
 }
@@ -44,11 +50,24 @@ Result<Gbdt> Gbdt::Fit(const data::Dataset& dataset, const GbdtConfig& config) {
   model.trees_.reserve(config.num_trees);
 
   // The row set never changes across boosting rounds, so the per-feature
-  // column sort is paid ONCE here and amortized over every tree of every
-  // stage (the big sort-once multiplier for GBDT).
+  // preprocessing is paid ONCE here and amortized over every tree of every
+  // stage: the column sort for the exact engine, the binning pass for the
+  // histogram engine (the big sort-once / bin-once multiplier for GBDT).
   std::shared_ptr<const tree::SortedColumns> sorted;
+  std::shared_ptr<const tree::BinnedColumns> binned;
+  const bool histogram =
+      config.tree.trainer_mode == tree::TrainerMode::kHistogram;
   if (!config.use_reference_trainer) {
-    sorted = tree::SortedColumns::Build(dataset);
+    if (histogram) {
+      std::unique_ptr<ThreadPool> local_pool;
+      ThreadPool* pool =
+          tree::ResolveTrainerPool(config.tree.num_threads, &local_pool);
+      TREEWM_ASSIGN_OR_RETURN(
+          binned, tree::BinnedColumns::Build(
+                      dataset, tree::BinnedOptions{config.tree.max_bins}, pool));
+    } else {
+      sorted = tree::SortedColumns::Build(dataset);
+    }
   }
 
   for (size_t round = 0; round < config.num_trees; ++round) {
@@ -61,7 +80,8 @@ Result<Gbdt> Gbdt::Fit(const data::Dataset& dataset, const GbdtConfig& config) {
         RegressionTree tree,
         config.use_reference_trainer
             ? RegressionTree::FitReference(dataset, residuals, config.tree)
-            : RegressionTree::Fit(dataset, residuals, config.tree, sorted.get()));
+            : RegressionTree::Fit(dataset, residuals, config.tree, sorted.get(),
+                                  binned.get()));
 
     // Newton step per leaf: gamma = sum(residual) / sum(p(1-p)).
     std::vector<double> numerator(tree.nodes().size(), 0.0);

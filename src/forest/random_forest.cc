@@ -16,6 +16,11 @@ Status ForestConfig::Validate() const {
   if (feature_fraction < 0.0 || feature_fraction > 1.0) {
     return Status::InvalidArgument("feature_fraction must be in [0,1]");
   }
+  if (use_reference_trainer &&
+      tree.trainer_mode != tree::TrainerMode::kExact) {
+    return Status::InvalidArgument(
+        "the reference trainer is the exact-mode spec; it has no histogram mode");
+  }
   return tree.Validate();
 }
 
@@ -38,7 +43,8 @@ size_t FeaturesPerTree(double fraction, size_t d) {
 
 Result<RandomForest> RandomForest::Fit(
     const data::Dataset& dataset, const std::vector<double>& weights,
-    const ForestConfig& config, std::shared_ptr<const tree::SortedColumns> sorted) {
+    const ForestConfig& config, std::shared_ptr<const tree::SortedColumns> sorted,
+    std::shared_ptr<const tree::BinnedColumns> binned) {
   TREEWM_RETURN_IF_ERROR(config.Validate());
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot fit a forest on an empty dataset");
@@ -49,7 +55,23 @@ Result<RandomForest> RandomForest::Fit(
     return Status::InvalidArgument(
         StrFormat("weights size %zu != rows %zu", weights.size(), dataset.num_rows()));
   }
-  TREEWM_RETURN_IF_ERROR(tree::ValidateColumnsMatch(sorted.get(), dataset));
+  const bool histogram =
+      config.tree.trainer_mode == tree::TrainerMode::kHistogram;
+  if (histogram) {
+    if (sorted != nullptr) {
+      return Status::InvalidArgument(
+          "histogram trainer mode takes binned columns, not sorted columns");
+    }
+    if (binned != nullptr) {
+      TREEWM_RETURN_IF_ERROR(tree::ValidateBinnedMatch(binned.get(), dataset));
+    }
+  } else {
+    if (binned != nullptr) {
+      return Status::InvalidArgument(
+          "binned columns passed but trainer_mode is exact");
+    }
+    TREEWM_RETURN_IF_ERROR(tree::ValidateColumnsMatch(sorted.get(), dataset));
+  }
 
   const size_t d = dataset.num_features();
   const size_t features_per_tree = FeaturesPerTree(config.feature_fraction, d);
@@ -70,12 +92,6 @@ Result<RandomForest> RandomForest::Fit(
                                              {tree::TreeNode{-1, 0, -1, -1, +1}}, d)
                                              .MoveValue());
 
-  // One column sort per dataset, shared immutably across all workers; every
-  // tree's TrainerCore copies just its subset's presorted columns from it.
-  if (sorted == nullptr && !config.use_reference_trainer) {
-    sorted = tree::SortedColumns::Build(dataset);
-  }
-
   ThreadPool* pool = nullptr;
   std::unique_ptr<ThreadPool> local_pool;
   if (config.num_threads == 0) {
@@ -83,6 +99,24 @@ Result<RandomForest> RandomForest::Fit(
   } else if (config.num_threads > 1) {
     local_pool = std::make_unique<ThreadPool>(config.num_threads);
     pool = local_pool.get();
+  }
+
+  // One preprocessing pass per dataset, shared immutably across all workers:
+  // the column sort (exact engine; every tree's TrainerCore copies just its
+  // subset's presorted columns) or the binning pass (histogram engine; trees
+  // read the shared codes directly). Intra-tree parallelism nests safely —
+  // ParallelFor runs inline on worker threads, so per-tree histogram
+  // fan-outs degrade to serial inside forest workers instead of deadlocking.
+  if (!config.use_reference_trainer) {
+    if (histogram) {
+      if (binned == nullptr) {
+        TREEWM_ASSIGN_OR_RETURN(
+            binned, tree::BinnedColumns::Build(
+                        dataset, tree::BinnedOptions{config.tree.max_bins}, pool));
+      }
+    } else if (sorted == nullptr) {
+      sorted = tree::SortedColumns::Build(dataset);
+    }
   }
 
   Mutex error_mutex;
@@ -93,7 +127,7 @@ Result<RandomForest> RandomForest::Fit(
             ? tree::DecisionTree::FitReference(dataset, weights, config.tree,
                                                subsets[t])
             : tree::DecisionTree::Fit(dataset, weights, config.tree, subsets[t],
-                                      sorted.get());
+                                      sorted.get(), binned.get());
     if (fitted.ok()) {
       forest.trees_[t] = std::move(fitted).MoveValue();
     } else {

@@ -21,13 +21,21 @@ Status ValidateColumnsMatch(const SortedColumns* sorted,
 
 std::shared_ptr<const SortedColumns> SortedColumns::Build(
     const data::Dataset& dataset) {
+  return Build(dataset, &ThreadPool::Global());
+}
+
+std::shared_ptr<const SortedColumns> SortedColumns::Build(
+    const data::Dataset& dataset, ThreadPool* pool) {
   auto columns = std::shared_ptr<SortedColumns>(new SortedColumns());
   const size_t n = dataset.num_rows();
   const size_t d = dataset.num_features();
   columns->num_rows_ = n;
   columns->num_features_ = d;
   columns->entries_.resize(d * n);
-  for (size_t f = 0; f < d; ++f) {
+  // Each feature task fills and sorts only its own n-entry slab, and the
+  // sort itself is deterministic, so the built columns are bit-identical
+  // at every thread count.
+  ParallelFor(pool, d, [&](size_t f) {
     ColumnEntry* col = columns->entries_.data() + f * n;
     for (size_t i = 0; i < n; ++i) {
       col[i] = {static_cast<uint32_t>(i), dataset.At(i, f)};
@@ -40,7 +48,7 @@ std::shared_ptr<const SortedColumns> SortedColumns::Build(
     std::stable_sort(col, col + n, [](const ColumnEntry& a, const ColumnEntry& b) {
       return a.value < b.value;
     });
-  }
+  });
   return columns;
 }
 

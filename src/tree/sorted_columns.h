@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 
 namespace treewm::tree {
@@ -40,8 +41,17 @@ struct ColumnEntry {
 class SortedColumns {
  public:
   /// Sorts every feature column of `dataset` (ascending by value, ties by
-  /// ascending row id). O(d·n log n), paid once per dataset.
+  /// ascending row id). O(d·n log n), paid once per dataset. Fans the
+  /// per-feature sorts out across the global ThreadPool — each task fills
+  /// and sorts its own disjoint slab of the feature-major array, so the
+  /// result is bit-identical at every thread count (regression-tested in
+  /// tests/test_trainer_core.cc).
   static std::shared_ptr<const SortedColumns> Build(const data::Dataset& dataset);
+
+  /// Same, on an explicit pool (nullptr = serial). Build(dataset) is
+  /// Build(dataset, &ThreadPool::Global()).
+  static std::shared_ptr<const SortedColumns> Build(const data::Dataset& dataset,
+                                                    ThreadPool* pool);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_features() const { return num_features_; }

@@ -93,6 +93,40 @@ TEST(SortedColumnsTest, ColumnsAreSortedWithStableTies) {
   }
 }
 
+TEST(SortedColumnsTest, ParallelBuildIsBitIdenticalAtEveryThreadCount) {
+  // The per-feature sorts are independent, so fanning them out across a pool
+  // must reproduce the serial build exactly — same rows, same values, same
+  // tie order — at every pool width (including widths above the feature
+  // count, which leave some workers idle).
+  data::Dataset d = MakeGridDataset(811, 400, 6, 5);  // coarse grid: tie-heavy
+  auto serial = SortedColumns::Build(d, nullptr);
+  for (size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    auto parallel = SortedColumns::Build(d, &pool);
+    ASSERT_EQ(parallel->num_features(), serial->num_features());
+    for (size_t f = 0; f < serial->num_features(); ++f) {
+      auto a = serial->Column(f);
+      auto b = parallel->Column(f);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].row, b[i].row) << "threads=" << threads << " f=" << f;
+        EXPECT_EQ(a[i].value, b[i].value) << "threads=" << threads << " f=" << f;
+      }
+    }
+  }
+  // The default Build (global pool) matches too.
+  auto pooled = SortedColumns::Build(d);
+  for (size_t f = 0; f < serial->num_features(); ++f) {
+    auto a = serial->Column(f);
+    auto b = pooled->Column(f);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].row, b[i].row);
+      EXPECT_EQ(a[i].value, b[i].value);
+    }
+  }
+}
+
 TEST(TrainerCoreTest, ApplySplitKeepsEveryColumnSortedAndTieStable) {
   data::Dataset d = MakeGridDataset(5, 150, 3, 6);
   auto sorted = SortedColumns::Build(d);

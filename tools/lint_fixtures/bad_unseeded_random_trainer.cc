@@ -1,0 +1,40 @@
+// Fixture: unseeded randomness inside trainer-style code. Histogram
+// trainers must be deterministic functions of (dataset, config, seed) —
+// thread-count invariance tests depend on it — so a naked RNG in split
+// selection or binning is exactly the bug the unseeded-random rule exists
+// to catch. Each marked line must fire exactly that rule. NEVER compiled —
+// linter self-test input only.
+
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+namespace fixture {
+
+struct FakeHistogramBin {
+  double weight = 0.0;
+  unsigned count = 0;
+};
+
+// Jittering equal-gain split ties with ambient entropy: silently breaks the
+// "same tree at every thread count" contract.
+inline int BreakSplitTie(int feature_a, int feature_b) {
+  std::random_device entropy;         // expect-lint: unseeded-random
+  return entropy() % 2 == 0 ? feature_a : feature_b;
+}
+
+// Subsampling rows for a binning pass with the legacy global RNG: the cut
+// arrays stop being reproducible across runs.
+inline std::vector<FakeHistogramBin> SampleBins(size_t num_bins) {
+  std::vector<FakeHistogramBin> bins(num_bins);
+  for (auto& bin : bins) {
+    bin.count = static_cast<unsigned>(rand());  // expect-lint: unseeded-random
+  }
+  return bins;
+}
+
+// A seeded engine threaded through from config is the approved pattern and
+// must NOT fire (mt19937 with an explicit seed, no random_device).
+inline unsigned SeededDraw(std::mt19937* engine) { return (*engine)(); }
+
+}  // namespace fixture
