@@ -34,6 +34,10 @@
 #include "common/thread_pool.h"
 #include "predict/flat_ensemble.h"
 #include "serve/serving_front_end.h"
+#include "serve/wire/frame.h"
+#include "serve/wire/socket_client.h"
+#include "serve/wire/socket_server.h"
+#include "serve/wire/sockets.h"
 
 namespace {
 
@@ -201,6 +205,247 @@ BENCHMARK(BM_ServeOpenLoopPoisson)
     ->Args({200, 0})    // 2x overload: the shed gate
     ->Args({200, 200})
     ->Args({200, 1000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Wire overload: the same open-loop discipline through the socket layer.
+//
+// Each connection is a pipelined writer (paced Poisson arrivals, never
+// waiting for responses — open loop) plus a reader matching answers back to
+// submit timestamps by request id. The 2x-overload rows are the wire
+// overload gate: the stack must answer EVERY request (response or typed
+// refusal — exactly-once accounting), shed instead of queueing without
+// bound, and keep served latency flat as connections multiply.
+
+struct WireConnOutcome {
+  std::vector<double> latencies_us;  // served requests only
+  size_t shed = 0;       // ResourceExhausted refusals (front-end pushback)
+  size_t failed = 0;     // anything else (transport, deadline, ...)
+};
+
+/// Max sustainable rate THROUGH THE WIRE (closed loop, 4 keep-alive
+/// connections), measured once. The wire sweep is expressed relative to
+/// this — not the in-process max — so rate_pct=100 saturates the socket
+/// path and rate_pct=200 is a true 2x overload of it.
+double WireBaseRatePerSec() {
+  using namespace treewm::serve::wire;
+  static const double rate = [] {
+    const auto& fx = ServeFixture();
+    auto created = serve::ServingFrontEnd::Create(ServeEnsemble(),
+                                                  LoadTestOptions(200));
+    auto serving = std::move(created).MoveValue();
+    auto server = SocketServer::Create(serving.get(), {});
+    if (!server.ok()) std::abort();
+    constexpr size_t kConns = 4, kPerConn = 600;
+    std::atomic<size_t> served{0};
+    const auto start = steady_clock::now();
+    {
+      ThreadPool clients(kConns);
+      for (size_t c = 0; c < kConns; ++c) {
+        const Status submitted = clients.Submit([&, c] {
+          SocketClientOptions options;
+          options.port = server.value()->port();
+          SocketClient client(options);
+          for (size_t i = 0; i < kPerConn; ++i) {
+            auto result =
+                client.Predict(fx.data.Row((c + i) % fx.data.num_rows()));
+            if (result.ok()) served.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        if (!submitted.ok()) std::abort();
+      }
+      clients.Shutdown();
+    }
+    const std::chrono::duration<double> elapsed = steady_clock::now() - start;
+    server.value()->Shutdown();
+    serving->Shutdown();
+    return static_cast<double>(std::max<size_t>(served.load(), 1)) /
+           elapsed.count();
+  }();
+  return rate;
+}
+
+// args: {offered rate as % of measured max, connection count}
+//
+// One paced writer thread round-robins Poisson arrivals across all
+// connections (pipelined — it never waits for a response: open loop); one
+// blocking reader per connection matches answers back to submit timestamps
+// by request id. A single pacing thread keeps the harness honest on small
+// machines: N spinning producers would starve the server being measured.
+void BM_WireOpenLoopOverload(benchmark::State& state) {
+  using namespace treewm::serve::wire;
+  const auto& fx = ServeFixture();
+  const double offered_rps =
+      WireBaseRatePerSec() * static_cast<double>(state.range(0)) / 100.0;
+  const size_t num_connections = static_cast<size_t>(state.range(1));
+  const size_t per_conn = (1536 + num_connections - 1) / num_connections;
+  const size_t total = per_conn * num_connections;
+
+  std::vector<WireConnOutcome> outcomes(num_connections);
+  double elapsed_s = 0;
+  for (auto _ : state) {
+    auto created = serve::ServingFrontEnd::Create(ServeEnsemble(),
+                                                  LoadTestOptions(200));
+    auto serving = std::move(created).MoveValue();
+    SocketServerOptions wire_options;
+    wire_options.max_connections = num_connections + 4;
+    // The front-end's shed high-water is the gate under test; keep the
+    // wire-level pipelining cap out of the way.
+    wire_options.max_in_flight_per_connection = 4096;
+    auto server = SocketServer::Create(serving.get(), wire_options);
+    if (!server.ok()) std::abort();
+
+    std::vector<Fd> fds(num_connections);
+    for (size_t c = 0; c < num_connections; ++c) {
+      auto fd = ConnectTcpLoopback(server.value()->port(),
+                                   std::chrono::seconds(30));
+      if (!fd.ok()) std::abort();
+      fds[c] = std::move(fd).MoveValue();
+    }
+
+    // Request i goes to connection i % N with wire id i + 1; timestamps are
+    // indexed by wire id, published through `produced`.
+    std::vector<steady_clock::time_point> submitted(total);
+    std::atomic<size_t> produced{0};
+
+    const auto start = steady_clock::now();
+    ThreadPool pool(1 + num_connections);
+    for (size_t c = 0; c < num_connections; ++c) {
+      WireConnOutcome* outcome = &outcomes[c];
+      outcome->latencies_us.clear();
+      outcome->latencies_us.reserve(per_conn);
+      outcome->shed = 0;
+      outcome->failed = 0;
+      const Fd* fd = &fds[c];
+      const Status reader = pool.Submit([=, &submitted, &produced] {
+        FrameDecoder decoder;
+        uint8_t chunk[8192];
+        size_t answered = 0;
+        while (answered < per_conn) {
+          auto next = decoder.Next();
+          if (!next.ok()) break;
+          if (!next.value().has_value()) {
+            auto got = ReadSome(*fd, chunk, sizeof(chunk));
+            if (!got.ok() || got.value().would_block || got.value().eof) break;
+            decoder.Feed(std::span<const uint8_t>(chunk, got.value().bytes));
+            continue;
+          }
+          const auto now = steady_clock::now();
+          Frame frame = std::move(*next.value());
+          uint64_t id = 0;
+          bool ok = false;
+          bool resource_exhausted = false;
+          if (frame.type == FrameType::kPredictResponse) {
+            auto msg = DecodePredictResponse(frame.body);
+            if (!msg.ok()) break;
+            id = msg.value().request_id;
+            ok = true;
+          } else if (frame.type == FrameType::kError) {
+            auto msg = DecodeError(frame.body);
+            if (!msg.ok()) break;
+            id = msg.value().request_id;
+            resource_exhausted =
+                msg.value().code == StatusCode::kResourceExhausted;
+          } else {
+            break;
+          }
+          if (id == 0 || id > total) break;  // connection-level error
+          while (produced.load(std::memory_order_acquire) < id) {
+            std::this_thread::yield();
+          }
+          ++answered;
+          if (ok) {
+            outcome->latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(
+                    now - submitted[id - 1])
+                    .count());
+          } else if (resource_exhausted) {
+            ++outcome->shed;
+          } else {
+            ++outcome->failed;
+          }
+        }
+        outcome->failed += per_conn - answered;
+      });
+      if (!reader.ok()) std::abort();
+    }
+    const Status writer = pool.Submit([&] {
+      Rng rng(77 + num_connections);
+      auto next_arrival = steady_clock::now();
+      for (size_t i = 0; i < total; ++i) {
+        while (steady_clock::now() < next_arrival) {
+          // Spin: microsecond gaps, open loop.
+        }
+        PredictRequestMsg msg;
+        msg.request_id = i + 1;
+        const auto row = fx.data.Row(i % fx.data.num_rows());
+        msg.features.assign(row.begin(), row.end());
+        const std::vector<uint8_t> frame = EncodePredictRequest(msg);
+        submitted[i] = steady_clock::now();
+        produced.store(i + 1, std::memory_order_release);
+        const Fd& fd = fds[i % num_connections];
+        size_t written = 0;
+        while (written < frame.size()) {
+          auto wrote =
+              WriteSome(fd, frame.data() + written, frame.size() - written);
+          if (!wrote.ok()) break;  // readers count the missing answers
+          if (!wrote.value().would_block) written += wrote.value().bytes;
+        }
+        const double gap_s = -std::log(1.0 - rng.UniformReal()) / offered_rps;
+        next_arrival += std::chrono::duration_cast<steady_clock::duration>(
+            std::chrono::duration<double>(gap_s));
+      }
+      // All requests written; half-close nothing — readers finish by count.
+    });
+    if (!writer.ok()) std::abort();
+    pool.Shutdown();  // joins the writer + readers
+    elapsed_s =
+        std::chrono::duration<double>(steady_clock::now() - start).count();
+    for (Fd& fd : fds) fd.Close();
+    server.value()->Shutdown();
+    const WireStats stats = server.value()->stats();
+    // The wire accounting must close even at 2x overload.
+    if (stats.requests_received !=
+        stats.responses_sent + stats.refusals_sent + stats.responses_dropped) {
+      std::abort();
+    }
+    serving->Shutdown();
+  }
+
+  std::vector<double> all_latencies;
+  size_t shed = 0, failed = 0;
+  for (const WireConnOutcome& outcome : outcomes) {
+    all_latencies.insert(all_latencies.end(), outcome.latencies_us.begin(),
+                         outcome.latencies_us.end());
+    shed += outcome.shed;
+    failed += outcome.failed;
+  }
+  const size_t served = all_latencies.size();
+  state.counters["offered_rps"] = offered_rps;
+  state.counters["throughput_rps"] =
+      elapsed_s > 0 ? static_cast<double>(served) / elapsed_s : 0;
+  state.counters["shed_rate"] =
+      static_cast<double>(shed) / static_cast<double>(total);
+  state.counters["fail_rate"] =
+      static_cast<double>(failed) / static_cast<double>(total);
+  state.counters["p50_us"] = Percentile(&all_latencies, 0.50);
+  state.counters["p99_us"] = Percentile(&all_latencies, 0.99);
+  state.SetItemsProcessed(static_cast<int64_t>(served) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireOpenLoopOverload)
+    ->ArgNames({"rate_pct", "conns"})
+    ->Args({50, 1})
+    ->Args({50, 4})
+    ->Args({100, 4})
+    ->Args({100, 16})
+    ->Args({200, 4})    // 2x closed-loop base: pipelining absorbs this
+    ->Args({200, 16})
+    ->Args({400, 4})    // deep overload through the socket: the wire gate
+    ->Args({400, 16})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1)
     ->MeasureProcessCPUTime()

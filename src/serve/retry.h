@@ -77,22 +77,36 @@ template <typename T>
 }
 }  // namespace internal
 
+/// Like RetryWithBackoff below, but the caller chooses which failures are
+/// worth another attempt via `retryable(status)`. Wire clients use this to
+/// widen the default (overload pushback) with connection resets — transport
+/// failures where the idempotent request may simply be resent — WITHOUT
+/// widening it for anyone else: deadline and validation failures must stay
+/// terminal everywhere.
+template <typename Retryable, typename Fn>
+auto RetryWithBackoffIf(const RetryPolicy& policy, Clock* clock,
+                        Retryable&& retryable, Fn&& fn) -> decltype(fn()) {
+  if (clock == nullptr) clock = Clock::System();
+  Backoff backoff(policy);
+  while (true) {
+    auto outcome = fn();
+    const Status status = internal::StatusOf(outcome);
+    if (status.ok() || !retryable(status)) return outcome;
+    const std::optional<std::chrono::nanoseconds> delay = backoff.Next();
+    if (!delay.has_value()) return outcome;
+    clock->SleepFor(*delay);
+  }
+}
+
 /// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts
 /// times, sleeping the backoff schedule on `clock` between retryable
 /// failures. Returns the last outcome.
 template <typename Fn>
 auto RetryWithBackoff(const RetryPolicy& policy, Clock* clock, Fn&& fn)
     -> decltype(fn()) {
-  if (clock == nullptr) clock = Clock::System();
-  Backoff backoff(policy);
-  while (true) {
-    auto outcome = fn();
-    const Status status = internal::StatusOf(outcome);
-    if (status.ok() || !IsRetryableStatus(status)) return outcome;
-    const std::optional<std::chrono::nanoseconds> delay = backoff.Next();
-    if (!delay.has_value()) return outcome;
-    clock->SleepFor(*delay);
-  }
+  return RetryWithBackoffIf(
+      policy, clock, [](const Status& s) { return IsRetryableStatus(s); },
+      std::forward<Fn>(fn));
 }
 
 }  // namespace treewm::serve

@@ -1,0 +1,87 @@
+#include "serve/wire/connection.h"
+
+#include <algorithm>
+
+namespace treewm::serve::wire {
+namespace {
+
+/// Per-poll-round read cap: a single connection blasting bytes yields the
+/// loop back after this much, keeping latency fair across connections.
+constexpr size_t kMaxReadPerRound = 64 * 1024;
+
+}  // namespace
+
+Connection::Connection(uint64_t id, Fd fd, std::chrono::nanoseconds now,
+                       size_t max_body_bytes)
+    : id_(id), fd_(std::move(fd)), decoder_(max_body_bytes),
+      last_activity_(now) {}
+
+ReadEvent Connection::ReadAndDecode(std::chrono::nanoseconds now,
+                                    std::vector<Frame>* frames, Status* error) {
+  uint8_t chunk[4096];
+  size_t read_this_round = 0;
+  while (read_this_round < kMaxReadPerRound) {
+    Result<IoOutcome> got = ReadSome(fd_, chunk, sizeof(chunk));
+    if (!got.ok()) {
+      *error = got.status();
+      return ReadEvent::kError;
+    }
+    const IoOutcome outcome = got.value();
+    if (outcome.would_block) break;
+    if (outcome.eof) {
+      // Decode whatever arrived before the close, then report EOF; frames
+      // fully received before the close still deserve answers.
+      while (true) {
+        Result<std::optional<Frame>> next = decoder_.Next();
+        if (!next.ok()) {
+          *error = next.status();
+          return ReadEvent::kError;
+        }
+        if (!next.value().has_value()) break;
+        frames->push_back(std::move(*next.value()));
+      }
+      return ReadEvent::kEof;
+    }
+    last_activity_ = now;
+    read_this_round += outcome.bytes;
+    decoder_.Feed(std::span<const uint8_t>(chunk, outcome.bytes));
+    while (true) {
+      Result<std::optional<Frame>> next = decoder_.Next();
+      if (!next.ok()) {
+        *error = next.status();
+        return ReadEvent::kError;
+      }
+      if (!next.value().has_value()) break;
+      frames->push_back(std::move(*next.value()));
+    }
+  }
+  return ReadEvent::kOk;
+}
+
+void Connection::QueueWrite(std::span<const uint8_t> bytes) {
+  // Compact before growing: long keep-alive sessions must not accrete the
+  // already-flushed prefix forever.
+  if (write_pos_ > 0 &&
+      (write_pos_ == write_buffer_.size() || write_pos_ >= 16 * 1024)) {
+    write_buffer_.erase(write_buffer_.begin(),
+                        write_buffer_.begin() + static_cast<ptrdiff_t>(write_pos_));
+    write_pos_ = 0;
+  }
+  write_buffer_.insert(write_buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Status Connection::FlushWrites(std::chrono::nanoseconds now) {
+  while (write_pos_ < write_buffer_.size()) {
+    Result<IoOutcome> wrote = WriteSome(fd_, write_buffer_.data() + write_pos_,
+                                        write_buffer_.size() - write_pos_);
+    if (!wrote.ok()) return wrote.status();
+    const IoOutcome outcome = wrote.value();
+    if (outcome.would_block) break;
+    if (outcome.bytes == 0) break;  // defensive: no progress, try next round
+    write_pos_ += outcome.bytes;
+    last_activity_ = now;
+  }
+  return Status::OK();
+}
+
+}  // namespace treewm::serve::wire

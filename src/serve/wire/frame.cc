@@ -1,0 +1,351 @@
+#include "serve/wire/frame.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace treewm::serve::wire {
+namespace {
+
+// ------------------------------------------------------------- primitives ----
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+uint32_t ReadU32At(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Bounds-checked little-endian cursor over a frame body. Every accessor
+/// fails closed: once an over-read is attempted, ok_ latches false and the
+/// caller returns ParseError. No accessor ever reads past the span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t U8() { return Take(1) ? data_[pos_ - 1] : 0; }
+
+  uint32_t U32() {
+    if (!Take(4)) return 0;
+    return ReadU32At(data_.data() + pos_ - 4);
+  }
+
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    const uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+
+  std::span<const uint8_t> Bytes(size_t n) {
+    if (!Take(n)) return {};
+    return data_.subspan(pos_ - n, n);
+  }
+
+ private:
+  bool Take(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status TruncatedBody(const char* what) {
+  return Status::ParseError(std::string("wire: truncated or overlong ") + what +
+                            " body");
+}
+
+// CRC-32 (IEEE, reflected), table generated at first use.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256>* table = [] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  return *table;
+}
+
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len) {
+  const auto& table = CrcTable();
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+/// CRC over the covered header fields (bytes [4, 12): version, type,
+/// reserved, body length) continued over the body.
+uint32_t FrameCrc(const uint8_t* header, std::span<const uint8_t> body) {
+  uint32_t crc = 0xFFFFFFFFu;
+  crc = Crc32Update(crc, header + 4, 8);
+  crc = Crc32Update(crc, body.data(), body.size());
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kPredictRequest) &&
+         type <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Update(0xFFFFFFFFu, data.data(), data.size()) ^ 0xFFFFFFFFu;
+}
+
+void AppendFrame(FrameType type, std::span<const uint8_t> body,
+                 std::vector<uint8_t>* out) {
+  const size_t header_at = out->size();
+  out->insert(out->end(), std::begin(kMagic), std::end(kMagic));
+  out->push_back(kWireVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  PutU16(0, out);  // reserved
+  PutU32(static_cast<uint32_t>(body.size()), out);
+  PutU32(0, out);  // CRC placeholder
+  const uint32_t crc = FrameCrc(out->data() + header_at, body);
+  (*out)[header_at + 12] = static_cast<uint8_t>(crc);
+  (*out)[header_at + 13] = static_cast<uint8_t>(crc >> 8);
+  (*out)[header_at + 14] = static_cast<uint8_t>(crc >> 16);
+  (*out)[header_at + 15] = static_cast<uint8_t>(crc >> 24);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+// ----------------------------------------------------------------- encode ----
+
+std::vector<uint8_t> EncodePredictRequest(const PredictRequestMsg& msg) {
+  std::vector<uint8_t> body;
+  body.reserve(20 + 4 * msg.features.size());
+  PutU64(msg.request_id, &body);
+  // Zero is the wire's only "no deadline" spelling; kNoDeadline (and any
+  // non-positive value) normalizes to it so the server never computes
+  // now + int64-max.
+  const int64_t timeout_ns =
+      (msg.timeout.count() > 0 && msg.timeout < kNoDeadline)
+          ? msg.timeout.count()
+          : 0;
+  PutU64(static_cast<uint64_t>(timeout_ns), &body);
+  PutU32(static_cast<uint32_t>(msg.features.size()), &body);
+  for (float f : msg.features) PutU32(std::bit_cast<uint32_t>(f), &body);
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  AppendFrame(FrameType::kPredictRequest, body, &frame);
+  return frame;
+}
+
+std::vector<uint8_t> EncodePredictResponse(const PredictResponseMsg& msg) {
+  std::vector<uint8_t> body;
+  body.reserve(16 + msg.votes.size());
+  PutU64(msg.request_id, &body);
+  PutU32(std::bit_cast<uint32_t>(msg.label), &body);
+  PutU32(static_cast<uint32_t>(msg.votes.size()), &body);
+  for (int8_t v : msg.votes) body.push_back(static_cast<uint8_t>(v));
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  AppendFrame(FrameType::kPredictResponse, body, &frame);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeError(const ErrorMsg& msg) {
+  std::vector<uint8_t> body;
+  body.reserve(16 + msg.message.size());
+  PutU64(msg.request_id, &body);
+  PutU32(static_cast<uint32_t>(msg.code), &body);
+  PutU32(static_cast<uint32_t>(msg.message.size()), &body);
+  body.insert(body.end(), msg.message.begin(), msg.message.end());
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  AppendFrame(FrameType::kError, body, &frame);
+  return frame;
+}
+
+std::vector<uint8_t> EncodePing(FrameType type, const PingMsg& msg) {
+  std::vector<uint8_t> body;
+  PutU64(msg.token, &body);
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  AppendFrame(type == FrameType::kPong ? FrameType::kPong : FrameType::kPing,
+              body, &frame);
+  return frame;
+}
+
+// ----------------------------------------------------------------- decode ----
+
+Result<PredictRequestMsg> DecodePredictRequest(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  PredictRequestMsg msg;
+  msg.request_id = reader.U64();
+  const uint64_t timeout_ns = reader.U64();
+  const uint32_t num_features = reader.U32();
+  if (!reader.ok()) return TruncatedBody("predict-request");
+  // num_features is attacker-controlled: check it against the bytes actually
+  // present BEFORE reserving anything.
+  if (reader.remaining() != size_t{num_features} * 4) {
+    return Status::ParseError(
+        "wire: predict-request feature count does not match body length");
+  }
+  if (timeout_ns >= static_cast<uint64_t>(kNoDeadline.count())) {
+    return Status::ParseError("wire: predict-request timeout out of range");
+  }
+  msg.timeout = std::chrono::nanoseconds(static_cast<int64_t>(timeout_ns));
+  msg.features.reserve(num_features);
+  for (uint32_t i = 0; i < num_features; ++i) {
+    msg.features.push_back(std::bit_cast<float>(reader.U32()));
+  }
+  if (!reader.ok() || reader.remaining() != 0) {
+    return TruncatedBody("predict-request");
+  }
+  return msg;
+}
+
+Result<PredictResponseMsg> DecodePredictResponse(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  PredictResponseMsg msg;
+  msg.request_id = reader.U64();
+  msg.label = std::bit_cast<int32_t>(reader.U32());
+  const uint32_t num_votes = reader.U32();
+  if (!reader.ok()) return TruncatedBody("predict-response");
+  if (reader.remaining() != num_votes) {
+    return Status::ParseError(
+        "wire: predict-response vote count does not match body length");
+  }
+  const std::span<const uint8_t> votes = reader.Bytes(num_votes);
+  msg.votes.reserve(num_votes);
+  for (uint8_t v : votes) msg.votes.push_back(static_cast<int8_t>(v));
+  if (!reader.ok() || reader.remaining() != 0) {
+    return TruncatedBody("predict-response");
+  }
+  return msg;
+}
+
+Result<ErrorMsg> DecodeError(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  ErrorMsg msg;
+  msg.request_id = reader.U64();
+  const uint32_t code = reader.U32();
+  const uint32_t msg_len = reader.U32();
+  if (!reader.ok()) return TruncatedBody("error");
+  if (code == static_cast<uint32_t>(StatusCode::kOk) ||
+      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::ParseError("wire: error frame carries invalid status code");
+  }
+  msg.code = static_cast<StatusCode>(code);
+  if (reader.remaining() != msg_len) {
+    return Status::ParseError(
+        "wire: error frame message length does not match body length");
+  }
+  const std::span<const uint8_t> text = reader.Bytes(msg_len);
+  msg.message.assign(text.begin(), text.end());
+  if (!reader.ok() || reader.remaining() != 0) return TruncatedBody("error");
+  return msg;
+}
+
+Result<PingMsg> DecodePing(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  PingMsg msg;
+  msg.token = reader.U64();
+  if (!reader.ok() || reader.remaining() != 0) return TruncatedBody("ping");
+  return msg;
+}
+
+// ---------------------------------------------------------------- decoder ----
+
+void FrameDecoder::Feed(std::span<const uint8_t> bytes) {
+  // Compact lazily so a long-lived keep-alive connection cannot grow the
+  // buffer without bound on frame-boundary traffic.
+  if (consumed_ > 0 && (consumed_ == buffer_.size() || consumed_ >= 4096)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (poisoned_) return poison_status_;
+  if (buffered() < kHeaderBytes) return std::optional<Frame>(std::nullopt);
+  uint8_t* header = buffer_.data() + consumed_;
+  const uint32_t body_len = ReadU32At(header + 8);
+
+  auto poison = [&](Status status) -> Result<std::optional<Frame>> {
+    poisoned_ = true;
+    poison_status_ = status;
+    return poison_status_;
+  };
+
+  // Validate everything that does not need the body first, so an oversize
+  // length field is rejected before any buffering decision trusts it.
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return poison(Status::ParseError("wire: bad frame magic"));
+  }
+  if (header[4] != kWireVersion) {
+    return poison(Status::ParseError("wire: unsupported protocol version " +
+                                     std::to_string(header[4])));
+  }
+  if (!ValidFrameType(header[5])) {
+    return poison(Status::ParseError("wire: unknown frame type " +
+                                     std::to_string(header[5])));
+  }
+  if (header[6] != 0 || header[7] != 0) {
+    return poison(Status::ParseError("wire: nonzero reserved header bytes"));
+  }
+  if (body_len > max_body_bytes_) {
+    return poison(Status::ParseError(
+        "wire: frame body of " + std::to_string(body_len) +
+        " bytes exceeds the " + std::to_string(max_body_bytes_) + " limit"));
+  }
+  if (buffered() < kHeaderBytes + body_len) {
+    return std::optional<Frame>(std::nullopt);  // wait for the rest
+  }
+
+  // Fault site: flip a covered header bit of the complete pending frame, so
+  // the CRC check below fails closed exactly as it would on hostile bytes.
+  if (TREEWM_FAULT_FIRED("serve.wire.frame.corrupt")) {
+    header[5] ^= 0x40;
+  }
+
+  const std::span<const uint8_t> body(header + kHeaderBytes, body_len);
+  const uint32_t expect_crc = ReadU32At(header + 12);
+  if (FrameCrc(header, body) != expect_crc) {
+    return poison(Status::ParseError("wire: frame checksum mismatch"));
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[5]);
+  frame.body.assign(body.begin(), body.end());
+  consumed_ += kHeaderBytes + body_len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace treewm::serve::wire

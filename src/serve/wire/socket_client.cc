@@ -1,0 +1,165 @@
+#include "serve/wire/socket_client.h"
+
+#include <utility>
+
+namespace treewm::serve::wire {
+
+bool IsWireRetryableStatus(const Status& status) {
+  return IsRetryableStatus(status) || IsTransportError(status);
+}
+
+SocketClient::SocketClient(SocketClientOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::System()),
+      decoder_(options.max_body_bytes) {}
+
+SocketClient::~SocketClient() { Close(); }
+
+Status SocketClient::Connect() {
+  if (fd_.valid()) return Status::OK();
+  TREEWM_ASSIGN_OR_RETURN(
+      fd_, ConnectTcpLoopback(options_.port, options_.recv_timeout));
+  decoder_ = FrameDecoder(options_.max_body_bytes);
+  round_trips_ = 0;
+  return Status::OK();
+}
+
+void SocketClient::Close() {
+  fd_.Close();
+  decoder_ = FrameDecoder(options_.max_body_bytes);
+}
+
+Status SocketClient::WriteAll(std::span<const uint8_t> bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    Result<IoOutcome> wrote =
+        WriteSome(fd_, bytes.data() + written, bytes.size() - written);
+    if (!wrote.ok()) return wrote.status();
+    if (wrote.value().would_block) continue;  // blocking socket: rare, retry
+    if (wrote.value().bytes == 0) {
+      return Status::IoError("wire: write made no progress");
+    }
+    written += wrote.value().bytes;
+  }
+  return Status::OK();
+}
+
+Result<Frame> SocketClient::ReadFrame() {
+  while (true) {
+    TREEWM_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_.Next());
+    if (frame.has_value()) return std::move(*frame);
+    uint8_t chunk[4096];
+    Result<IoOutcome> got = ReadSome(fd_, chunk, sizeof(chunk));
+    if (!got.ok()) return got.status();
+    if (got.value().would_block) {
+      // Blocking socket with SO_RCVTIMEO: EAGAIN here means the timeout
+      // expired with the response still missing.
+      return Status::Timeout("wire: timed out waiting for a response frame");
+    }
+    if (got.value().eof) {
+      return Status::IoError("wire: server closed the connection");
+    }
+    decoder_.Feed(std::span<const uint8_t>(chunk, got.value().bytes));
+  }
+}
+
+Result<Frame> SocketClient::RoundTrip(std::span<const uint8_t> frame) {
+  TREEWM_RETURN_IF_ERROR(Connect());
+  Status outcome = WriteAll(frame);
+  if (!outcome.ok()) {
+    Close();
+    return outcome;
+  }
+  Result<Frame> reply = ReadFrame();
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  round_trips_ += 1;
+  return reply;
+}
+
+Result<PredictResult> SocketClient::Predict(std::span<const float> features,
+                                            std::chrono::nanoseconds timeout) {
+  PredictRequestMsg request;
+  request.request_id = next_request_id_++;
+  request.timeout = timeout;
+  request.features.assign(features.begin(), features.end());
+  TREEWM_ASSIGN_OR_RETURN(Frame reply,
+                          RoundTrip(EncodePredictRequest(request)));
+  switch (reply.type) {
+    case FrameType::kPredictResponse: {
+      Result<PredictResponseMsg> msg = DecodePredictResponse(reply.body);
+      if (!msg.ok()) {
+        Close();
+        return msg.status();
+      }
+      if (msg.value().request_id != request.request_id) {
+        // Strict request/response: an id mismatch means the stream is
+        // desynchronized and nothing further on it can be trusted.
+        Close();
+        return Status::ParseError("wire: response for a different request id");
+      }
+      PredictResult result;
+      result.label = static_cast<int>(msg.value().label);
+      result.votes = std::move(msg.value().votes);
+      return result;
+    }
+    case FrameType::kError: {
+      Result<ErrorMsg> msg = DecodeError(reply.body);
+      if (!msg.ok()) {
+        Close();
+        return msg.status();
+      }
+      if (msg.value().request_id != 0 &&
+          msg.value().request_id != request.request_id) {
+        Close();
+        return Status::ParseError("wire: error for a different request id");
+      }
+      // Connection-level errors (id 0) also cost the stream: the server
+      // closes after sending one.
+      if (msg.value().request_id == 0) Close();
+      return msg.value().ToStatus();
+    }
+    default:
+      Close();
+      return Status::ParseError("wire: unexpected frame type in response");
+  }
+}
+
+Result<PredictResult> SocketClient::PredictWithRetry(
+    std::span<const float> features, const RetryPolicy& policy,
+    std::chrono::nanoseconds timeout) {
+  return RetryWithBackoffIf(
+      policy, clock_, IsWireRetryableStatus,
+      [&]() -> Result<PredictResult> { return Predict(features, timeout); });
+}
+
+Status SocketClient::Ping() {
+  PingMsg ping;
+  ping.token = next_request_id_++;
+  TREEWM_ASSIGN_OR_RETURN(Frame reply,
+                          RoundTrip(EncodePing(FrameType::kPing, ping)));
+  if (reply.type == FrameType::kError) {
+    Result<ErrorMsg> msg = DecodeError(reply.body);
+    Close();
+    if (!msg.ok()) return msg.status();
+    return msg.value().ToStatus();
+  }
+  if (reply.type != FrameType::kPong) {
+    Close();
+    return Status::ParseError("wire: expected a pong frame");
+  }
+  Result<PingMsg> pong = DecodePing(reply.body);
+  if (!pong.ok()) {
+    Close();
+    return pong.status();
+  }
+  if (pong.value().token != ping.token) {
+    Close();
+    return Status::ParseError("wire: pong echoed the wrong token");
+  }
+  return Status::OK();
+}
+
+}  // namespace treewm::serve::wire

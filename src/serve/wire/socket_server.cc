@@ -1,0 +1,480 @@
+#include "serve/wire/socket_server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace treewm::serve::wire {
+namespace {
+
+/// Cap on accepts per poll round so an accept storm cannot starve
+/// established connections.
+constexpr int kMaxAcceptsPerRound = 32;
+
+/// Slice for the collector's future waits: short enough that shutdown's
+/// abandon flag is honored promptly, long enough to cost nothing.
+constexpr std::chrono::milliseconds kCollectorWaitSlice{5};
+
+int ToPollTimeoutMs(std::chrono::nanoseconds wait) {
+  if (wait.count() <= 0) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(wait);
+  // Round up so a deadline 0.4ms away does not busy-spin at timeout 0.
+  const int64_t rounded = ms.count() + (ms >= wait ? 0 : 1);
+  return static_cast<int>(std::min<int64_t>(rounded, 60'000));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Create(
+    ServingFrontEnd* front_end, SocketServerOptions options) {
+  if (front_end == nullptr) {
+    return Status::InvalidArgument("socket server needs a serving front-end");
+  }
+  if (options.max_connections == 0) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (options.max_in_flight_per_connection == 0) {
+    return Status::InvalidArgument("max_in_flight_per_connection must be >= 1");
+  }
+  if (options.max_body_bytes < kHeaderBytes) {
+    return Status::InvalidArgument("max_body_bytes is too small for any frame");
+  }
+  if (options.clock == nullptr) options.clock = Clock::System();
+  TREEWM_ASSIGN_OR_RETURN(Fd listener,
+                          ListenTcpLoopback(options.port, options.backlog));
+  TREEWM_ASSIGN_OR_RETURN(const uint16_t port, LocalPort(listener));
+  TREEWM_ASSIGN_OR_RETURN(auto pipe_ends, MakeWakePipe());
+  auto server = std::unique_ptr<SocketServer>(new SocketServer(
+      front_end, options, std::move(listener), std::move(pipe_ends.first),
+      std::move(pipe_ends.second), port));
+  return server;
+}
+
+SocketServer::SocketServer(ServingFrontEnd* front_end,
+                           SocketServerOptions options, Fd listener,
+                           Fd wake_read, Fd wake_write, uint16_t port)
+    : front_end_(front_end),
+      options_(options),
+      clock_(options.clock),
+      port_(port),
+      listener_(std::move(listener)),
+      wake_read_(std::move(wake_read)),
+      wake_write_(std::move(wake_write)) {
+  collector_pool_ = std::make_unique<ThreadPool>(1);
+  loop_pool_ = std::make_unique<ThreadPool>(1);
+  Status collector_started = collector_pool_->Submit([this] { CollectorLoop(); });
+  Status loop_started = loop_pool_->Submit([this] { EventLoop(); });
+  // Fresh 1-thread pools only reject under an injected thread_pool fault;
+  // fall back to immediate-drain mode rather than serving half a server.
+  if (!collector_started.ok() || !loop_started.ok()) {
+    LogWarning("wire: server thread submit rejected, wire layer disabled: " +
+               (collector_started.ok() ? loop_started : collector_started)
+                   .ToString());
+    drain_requested_.store(true, std::memory_order_release);
+    abandon_completions_.store(true, std::memory_order_release);
+    {
+      MutexLock lock(&pending_mutex_);
+      collector_stop_ = true;
+    }
+    pending_ready_.NotifyAll();
+    listener_.Close();
+  }
+}
+
+SocketServer::~SocketServer() { Shutdown(); }
+
+WireStats SocketServer::stats() const {
+  WireStats s;
+  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.accept_failures = accept_failures_.load(std::memory_order_relaxed);
+  s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.closed_mid_frame = closed_mid_frame_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.pings = pings_.load(std::memory_order_relaxed);
+  s.requests_received = requests_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.refusals_sent = refusals_sent_.load(std::memory_order_relaxed);
+  s.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
+  s.active_connections = active_connections_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SocketServer::SendErrorFrame(Connection* conn, uint64_t request_id,
+                                  const Status& status) {
+  ErrorMsg msg;
+  msg.request_id = request_id;
+  msg.code = status.code();
+  msg.message = status.message();
+  const std::vector<uint8_t> frame = EncodeError(msg);
+  conn->QueueWrite(frame);
+}
+
+void SocketServer::EraseConnection(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  conns_.erase(it);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  active_connections_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+void SocketServer::HandleFrame(Connection* conn, Frame frame) {
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  switch (frame.type) {
+    case FrameType::kPing: {
+      Result<PingMsg> ping = DecodePing(frame.body);
+      if (!ping.ok()) {
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendErrorFrame(conn, 0, ping.status());
+        conn->closing = true;
+        return;
+      }
+      pings_.fetch_add(1, std::memory_order_relaxed);
+      const std::vector<uint8_t> pong =
+          EncodePing(FrameType::kPong, ping.value());
+      conn->QueueWrite(pong);
+      return;
+    }
+    case FrameType::kPredictRequest: {
+      Result<PredictRequestMsg> request = DecodePredictRequest(frame.body);
+      if (!request.ok()) {
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendErrorFrame(conn, 0, request.status());
+        conn->closing = true;
+        return;
+      }
+      requests_received_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t request_id = request.value().request_id;
+      if (drain_requested_.load(std::memory_order_acquire)) {
+        refusals_sent_.fetch_add(1, std::memory_order_relaxed);
+        SendErrorFrame(conn, request_id,
+                       Status::FailedPrecondition("server is draining"));
+        return;
+      }
+      if (conn->in_flight >= options_.max_in_flight_per_connection) {
+        refusals_sent_.fetch_add(1, std::memory_order_relaxed);
+        TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                           "wire: per-connection in-flight cap hit");
+        SendErrorFrame(conn, request_id,
+                       Status::ResourceExhausted(
+                           "per-connection in-flight cap reached"));
+        return;
+      }
+      RequestOptions req_options;
+      req_options.timeout = request.value().timeout;
+      std::future<Result<PredictResult>> future = front_end_->SubmitPredict(
+          request.value().features, req_options);
+      conn->in_flight += 1;
+      {
+        MutexLock lock(&pending_mutex_);
+        PendingResponse pending;
+        pending.conn_id = conn->id();
+        pending.request_id = request_id;
+        pending.future = std::move(future);
+        pending_.push_back(std::move(pending));
+      }
+      pending_ready_.NotifyOne();
+      return;
+    }
+    case FrameType::kPredictResponse:
+    case FrameType::kPong:
+    case FrameType::kError: {
+      // Server-to-client message types arriving AT the server: protocol
+      // violation; fail the connection closed.
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendErrorFrame(
+          conn, 0,
+          Status::ParseError("wire: client sent a server-only frame type"));
+      conn->closing = true;
+      return;
+    }
+  }
+}
+
+void SocketServer::ApplyCompletions() {
+  std::deque<CompletedResponse> batch;
+  {
+    MutexLock lock(&completed_mutex_);
+    batch.swap(completed_);
+  }
+  for (CompletedResponse& completion : batch) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) {
+      responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Connection* conn = it->second.get();
+    if (conn->in_flight > 0) conn->in_flight -= 1;
+    if (completion.result.ok()) {
+      PredictResponseMsg msg;
+      msg.request_id = completion.request_id;
+      msg.label = completion.result.value().label;
+      msg.votes = std::move(completion.result.value().votes);
+      conn->QueueWrite(EncodePredictResponse(msg));
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      refusals_sent_.fetch_add(1, std::memory_order_relaxed);
+      SendErrorFrame(conn, completion.request_id, completion.result.status());
+    }
+  }
+}
+
+void SocketServer::AcceptRound() {
+  for (int i = 0; i < kMaxAcceptsPerRound; ++i) {
+    Result<AcceptOutcome> accepted = AcceptConnection(listener_);
+    if (!accepted.ok()) {
+      accept_failures_.fetch_add(1, std::memory_order_relaxed);
+      TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                         "wire: accept failed: " + accepted.status().ToString());
+      continue;  // transient: keep draining the backlog
+    }
+    if (accepted.value().would_block) return;
+    Fd fd = std::move(accepted.value().fd);
+    const auto now = clock_->Now();
+    if (conns_.size() >= options_.max_connections) {
+      // Accept-shed: answer one typed refusal, then close. Best effort —
+      // the socket buffer of a fresh connection takes a small frame.
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                         "wire: connection high-water, shedding accept");
+      ErrorMsg msg;
+      msg.request_id = 0;
+      msg.code = StatusCode::kResourceExhausted;
+      msg.message = "connection limit reached";
+      std::vector<uint8_t> frame = EncodeError(msg);
+      size_t written = 0;
+      while (written < frame.size()) {
+        Result<IoOutcome> wrote =
+            WriteSome(fd, frame.data() + written, frame.size() - written);
+        if (!wrote.ok() || wrote.value().would_block) break;
+        if (wrote.value().bytes == 0) break;
+        written += wrote.value().bytes;
+      }
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(id, std::make_unique<Connection>(id, std::move(fd), now,
+                                                    options_.max_body_bytes));
+    active_connections_.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+void SocketServer::EventLoop() {
+  std::vector<pollfd> poll_fds;
+  std::vector<uint64_t> poll_conn_ids;  // parallel to poll_fds, 0 = not a conn
+  std::vector<uint64_t> to_erase;
+  std::vector<Frame> frames;
+
+  while (true) {
+    const bool draining = drain_requested_.load(std::memory_order_acquire);
+    auto now = clock_->Now();
+    if (draining) {
+      if (listener_.valid()) listener_.Close();
+      if (drain_deadline_at_ == kNoDeadline) {
+        drain_deadline_at_ = options_.drain_deadline.count() > 0
+                                 ? now + options_.drain_deadline
+                                 : now;
+      }
+    }
+
+    ApplyCompletions();
+
+    // Close what is finished; during drain, idle connections are done too.
+    to_erase.clear();
+    for (auto& [id, conn] : conns_) {
+      if (draining && conn->in_flight == 0 && !conn->wants_write()) {
+        conn->closing = true;
+      }
+      if (conn->closing && !conn->wants_write()) to_erase.push_back(id);
+    }
+    for (uint64_t id : to_erase) EraseConnection(id);
+
+    if (draining) {
+      const bool deadline_passed = now >= drain_deadline_at_;
+      if (conns_.empty()) return;
+      if (deadline_passed) {
+        // Force-close the stragglers; their in-flight answers surface as
+        // responses_dropped when the collector abandons or delivers them.
+        to_erase.clear();
+        for (auto& [id, conn] : conns_) to_erase.push_back(id);
+        for (uint64_t id : to_erase) EraseConnection(id);
+        return;
+      }
+    }
+
+    // ---- build the poll set ----
+    poll_fds.clear();
+    poll_conn_ids.clear();
+    poll_fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+    poll_conn_ids.push_back(0);
+    if (!draining && listener_.valid()) {
+      poll_fds.push_back(pollfd{listener_.get(), POLLIN, 0});
+      poll_conn_ids.push_back(0);
+    }
+    std::chrono::nanoseconds wait = std::chrono::nanoseconds::max();
+    if (draining) wait = drain_deadline_at_ - now;
+    for (auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (conn->wants_write()) events |= POLLOUT;
+      poll_fds.push_back(pollfd{conn->fd(), events, 0});
+      poll_conn_ids.push_back(id);
+      if (options_.idle_timeout.count() > 0 && conn->in_flight == 0 &&
+          !conn->wants_write()) {
+        wait = std::min(wait,
+                        conn->last_activity() + options_.idle_timeout - now);
+      }
+    }
+    const int timeout_ms = wait == std::chrono::nanoseconds::max()
+                               ? -1
+                               : ToPollTimeoutMs(wait);
+    int rc;
+    do {
+      rc = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    now = clock_->Now();
+    if (poll_fds[0].revents != 0) DrainWakePipe(wake_read_);
+
+    // ---- events ----
+    for (size_t i = 1; i < poll_fds.size(); ++i) {
+      const pollfd& entry = poll_fds[i];
+      if (entry.revents == 0) continue;
+      if (poll_conn_ids[i] == 0) {
+        AcceptRound();
+        continue;
+      }
+      auto it = conns_.find(poll_conn_ids[i]);
+      if (it == conns_.end()) continue;
+      Connection* conn = it->second.get();
+
+      if ((entry.revents & (POLLIN | POLLERR | POLLHUP)) != 0 &&
+          !conn->closing) {
+        frames.clear();
+        Status error = Status::OK();
+        const ReadEvent event = conn->ReadAndDecode(now, &frames, &error);
+        for (Frame& frame : frames) {
+          if (conn->closing) break;  // a poisoned frame closed the stream
+          HandleFrame(conn, std::move(frame));
+        }
+        if (event == ReadEvent::kEof) {
+          if (conn->HasPartialFrame()) {
+            closed_mid_frame_.fetch_add(1, std::memory_order_relaxed);
+          }
+          // Full close: the peer is gone, answers are undeliverable.
+          EraseConnection(conn->id());
+          continue;
+        }
+        if (event == ReadEvent::kError) {
+          if (error.code() == StatusCode::kParseError) {
+            parse_errors_.fetch_add(1, std::memory_order_relaxed);
+            TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                               "wire: framing error: " + error.ToString());
+            SendErrorFrame(conn, 0, error);
+            // discard ok: best-effort farewell; the close below is the
+            // real handling and a failed flush changes nothing
+            (void)conn->FlushWrites(now);
+          } else {
+            transport_errors_.fetch_add(1, std::memory_order_relaxed);
+            TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                               "wire: read failed: " + error.ToString());
+          }
+          EraseConnection(conn->id());
+          continue;
+        }
+      }
+
+      if (conn->wants_write()) {
+        Status flushed = conn->FlushWrites(now);
+        if (!flushed.ok()) {
+          transport_errors_.fetch_add(1, std::memory_order_relaxed);
+          TREEWM_LOG_EVERY_N(LogLevel::kWarning, 256,
+                             "wire: write failed: " + flushed.ToString());
+          EraseConnection(conn->id());
+          continue;
+        }
+      }
+      if (conn->closing && !conn->wants_write()) EraseConnection(conn->id());
+    }
+
+    // ---- idle sweep ----
+    if (options_.idle_timeout.count() > 0) {
+      to_erase.clear();
+      for (auto& [id, conn] : conns_) {
+        if (conn->in_flight == 0 && !conn->wants_write() &&
+            now - conn->last_activity() >= options_.idle_timeout) {
+          to_erase.push_back(id);
+        }
+      }
+      for (uint64_t id : to_erase) {
+        idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        EraseConnection(id);
+      }
+    }
+  }
+}
+
+void SocketServer::CollectorLoop() {
+  while (true) {
+    PendingResponse item;
+    {
+      MutexLock lock(&pending_mutex_);
+      while (pending_.empty() && !collector_stop_) pending_ready_.Wait(lock);
+      if (pending_.empty()) return;  // stop requested and queue drained
+      item = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    // Wait in slices: a wedged front-end must not pin shutdown — once the
+    // loop has exited, answers are undeliverable and abandoning is correct.
+    bool ready = false;
+    while (!ready) {
+      if (abandon_completions_.load(std::memory_order_acquire)) break;
+      ready = item.future.wait_for(kCollectorWaitSlice) ==
+              std::future_status::ready;
+    }
+    if (!ready) {
+      responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    CompletedResponse completion{item.conn_id, item.request_id,
+                                 item.future.get()};
+    {
+      MutexLock lock(&completed_mutex_);
+      completed_.push_back(std::move(completion));
+    }
+    SignalWakePipe(wake_write_);
+  }
+}
+
+void SocketServer::Shutdown() {
+  bool expected = false;
+  if (!shutdown_started_.compare_exchange_strong(expected, true)) return;
+  drain_requested_.store(true, std::memory_order_release);
+  SignalWakePipe(wake_write_);
+  // Joins after EventLoop returns: drain complete or deadline hit.
+  loop_pool_->Shutdown();
+  // The loop is gone; nothing further can be delivered. Tell the collector
+  // to finish the backlog (abandoning unresolved futures) and join it.
+  abandon_completions_.store(true, std::memory_order_release);
+  {
+    MutexLock lock(&pending_mutex_);
+    collector_stop_ = true;
+  }
+  pending_ready_.NotifyAll();
+  collector_pool_->Shutdown();
+  // Completions that raced in after the loop exited are undeliverable.
+  std::deque<CompletedResponse> leftovers;
+  {
+    MutexLock lock(&completed_mutex_);
+    leftovers.swap(completed_);
+  }
+  responses_dropped_.fetch_add(leftovers.size(), std::memory_order_relaxed);
+}
+
+}  // namespace treewm::serve::wire

@@ -1,0 +1,214 @@
+// Poll-based event-loop socket server over the in-process ServingFrontEnd.
+//
+// The wire half of the verification service (rspamd's scanning-daemon
+// shape): one nonblocking listener + one poll loop own every connection;
+// requests decoded off the wire are submitted to the UNCHANGED
+// ServingFrontEnd (bounded admission, coalescing batcher, deadlines,
+// shedding), and a collector thread turns the front-end's futures into
+// response frames the loop writes back. Per-request deadlines travel in the
+// request frame's timeout field, so the admission/dispatch/completion
+// checks apply to wire traffic exactly as to in-process callers.
+//
+// Robustness envelope at the wire:
+//   * keep-alive connections with an idle timeout (a silent client cannot
+//     hold a slot forever);
+//   * per-connection in-flight cap — a pipelining client that overruns it
+//     is refused ResourceExhausted per overflowing request, connection kept;
+//   * connection-count high-water with accept-shedding: above
+//     max_connections a fresh connection is answered one ResourceExhausted
+//     error frame and closed (a typed refusal, not a silent backlog drop);
+//   * fail-closed framing: a malformed frame earns a best-effort typed
+//     error frame and the connection is closed — framing is unrecoverable
+//     once lost (see frame.h);
+//   * graceful drain: Shutdown() closes the listener, lets in-flight
+//     requests finish (bounded by drain_deadline), flushes their responses,
+//     then tears everything down. Every request received on the wire is
+//     answered or refused exactly once; responses whose connection died are
+//     counted in responses_dropped, never silently lost.
+//
+// Determinism contract (tests/test_wire.cc): completed responses are
+// bit-identical to the in-process ServingFrontEnd result for the same
+// feature vector, across connection counts × batch shapes × fault
+// schedules. The wire can change WHICH requests complete, never the value
+// a completed request is served.
+//
+// Threading: the poll loop and the collector run on 1-worker ThreadPools
+// (the PR-6 dispatcher idiom; drain-on-shutdown is the join protocol).
+// Connections and the conns_ map are loop-thread-only (externally-guarded
+// capability, like Batcher); the pending/completed queues between loop and
+// collector are Mutex-guarded and annotated; counters are atomics.
+
+#ifndef TREEWM_SERVE_WIRE_SOCKET_SERVER_H_
+#define TREEWM_SERVE_WIRE_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <unordered_map>
+
+#include "common/annotations.h"
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "serve/serving_front_end.h"
+#include "serve/wire/connection.h"
+#include "serve/wire/frame.h"
+#include "serve/wire/sockets.h"
+
+namespace treewm::serve::wire {
+
+struct SocketServerOptions {
+  /// Loopback port to listen on (0 = kernel-assigned; read it back via
+  /// port()).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Connection-count high-water: accepts above this are shed with one
+  /// ResourceExhausted error frame. >= 1.
+  size_t max_connections = 64;
+  /// Per-connection cap on submitted-but-unanswered requests; overflowing
+  /// requests are refused ResourceExhausted (connection kept). >= 1.
+  size_t max_in_flight_per_connection = 64;
+  /// Close connections with no in-flight work after this much quiet time
+  /// (0 = never).
+  std::chrono::nanoseconds idle_timeout = std::chrono::seconds(30);
+  /// Shutdown() waits at most this long for in-flight requests to finish
+  /// and their responses to flush.
+  std::chrono::nanoseconds drain_deadline = std::chrono::seconds(5);
+  /// Frame-body ceiling handed to each connection's decoder.
+  size_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// Time source for idle/drain arithmetic (nullptr = system clock). Real
+  /// sockets need real time; FakeClock only suits unit tests that never
+  /// poll.
+  Clock* clock = nullptr;
+};
+
+/// Counter snapshot. After Shutdown() the wire accounting closes:
+/// requests_received == responses_sent + refusals_sent + responses_dropped.
+struct WireStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;     ///< over max_connections
+  uint64_t accept_failures = 0;      ///< transient accept errors (incl. fault)
+  uint64_t connections_closed = 0;   ///< every close, any reason
+  uint64_t idle_closed = 0;          ///< closed by the idle timeout
+  uint64_t closed_mid_frame = 0;     ///< peer vanished inside a frame
+  uint64_t parse_errors = 0;         ///< framing/body decode failures
+  uint64_t transport_errors = 0;     ///< read/write resets and friends
+  uint64_t frames_received = 0;
+  uint64_t pings = 0;
+  uint64_t requests_received = 0;    ///< well-formed predict requests
+  uint64_t responses_sent = 0;       ///< predict responses queued to a socket
+  uint64_t refusals_sent = 0;        ///< typed error frames for a request id
+  uint64_t responses_dropped = 0;    ///< answers whose connection was gone
+  uint64_t active_connections = 0;   ///< point-in-time
+};
+
+class SocketServer {
+ public:
+  /// Binds, starts the loop + collector, returns a serving server.
+  /// `front_end` is borrowed and must outlive the server; use an
+  /// OverflowPolicy::kReject queue (a blocking admission policy would stall
+  /// the event loop — the wire's backpressure is the typed refusal).
+  [[nodiscard]] static Result<std::unique_ptr<SocketServer>> Create(
+      ServingFrontEnd* front_end, SocketServerOptions options);
+
+  /// Shuts down (drains) if the caller has not already.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound loopback port.
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish or refuse everything in flight
+  /// (bounded by drain_deadline), close all connections, join the threads.
+  /// Requires the front-end to be completing requests (dispatcher mode, or
+  /// an owner pumping manually) — otherwise in-flight answers are abandoned
+  /// at the drain deadline and counted dropped. Idempotent.
+  void Shutdown();
+
+  WireStats stats() const;
+
+ private:
+  SocketServer(ServingFrontEnd* front_end, SocketServerOptions options,
+               Fd listener, Fd wake_read, Fd wake_write, uint16_t port);
+
+  struct PendingResponse {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::future<Result<PredictResult>> future;
+  };
+  struct CompletedResponse {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    Result<PredictResult> result;
+  };
+
+  void EventLoop() TREEWM_EXCLUDES(pending_mutex_, completed_mutex_);
+  void CollectorLoop() TREEWM_EXCLUDES(pending_mutex_, completed_mutex_);
+
+  // --- loop-thread-only helpers (conns_ is externally synchronized by the
+  // --- single loop driver; see class comment) ---
+  void AcceptRound();
+  void HandleFrame(Connection* conn, Frame frame)
+      TREEWM_EXCLUDES(pending_mutex_);
+  void ApplyCompletions() TREEWM_EXCLUDES(completed_mutex_);
+  void SendErrorFrame(Connection* conn, uint64_t request_id, const Status& status);
+  void EraseConnection(uint64_t id);
+
+  ServingFrontEnd* front_end_;
+  SocketServerOptions options_;
+  Clock* clock_;
+  uint16_t port_;
+
+  Fd listener_;        // loop thread closes it when draining begins
+  Fd wake_read_;
+  Fd wake_write_;
+
+  /// Loop-thread-only (single driver — never touched off the event loop).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  std::chrono::nanoseconds drain_deadline_at_{kNoDeadline};
+
+  std::unique_ptr<ThreadPool> loop_pool_;
+  std::unique_ptr<ThreadPool> collector_pool_;
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> shutdown_started_{false};
+  /// Collector: stop waiting on unresolved futures and count them dropped
+  /// (set once the loop has exited — answers are undeliverable by then).
+  std::atomic<bool> abandon_completions_{false};
+
+  mutable Mutex pending_mutex_;
+  CondVar pending_ready_;
+  std::deque<PendingResponse> pending_ TREEWM_GUARDED_BY(pending_mutex_);
+  bool collector_stop_ TREEWM_GUARDED_BY(pending_mutex_) = false;
+
+  mutable Mutex completed_mutex_;
+  std::deque<CompletedResponse> completed_ TREEWM_GUARDED_BY(completed_mutex_);
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> accept_failures_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> idle_closed_{0};
+  std::atomic<uint64_t> closed_mid_frame_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> transport_errors_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> pings_{0};
+  std::atomic<uint64_t> requests_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> refusals_sent_{0};
+  std::atomic<uint64_t> responses_dropped_{0};
+  std::atomic<uint64_t> active_connections_{0};
+};
+
+}  // namespace treewm::serve::wire
+
+#endif  // TREEWM_SERVE_WIRE_SOCKET_SERVER_H_

@@ -1,0 +1,228 @@
+#include "serve/wire/sockets.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/fault_injection.h"
+
+namespace treewm::serve::wire {
+namespace {
+
+Status ErrnoStatus(const char* op, int err) {
+  return Status::IoError(std::string("wire: ") + op + " failed: " +
+                         std::strerror(err));
+}
+
+Status ResetStatus(const char* op) {
+  return Status::IoError(std::string("wire: ") + op +
+                         " failed: connection reset");
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    // EINTR on close is unrecoverable-by-retry on Linux; the fd is gone
+    // either way.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> ListenTcpLoopback(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(fd.get(), backlog) != 0) return ErrnoStatus("listen", errno);
+  TREEWM_RETURN_IF_ERROR(SetNonBlocking(fd));
+  return fd;
+}
+
+Result<uint16_t> LocalPort(const Fd& fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Fd> ConnectTcpLoopback(uint16_t port,
+                              std::chrono::nanoseconds recv_timeout) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+  if (recv_timeout.count() > 0) {
+    timeval tv{};
+    const auto usec =
+        std::chrono::duration_cast<std::chrono::microseconds>(recv_timeout);
+    tv.tv_sec = static_cast<time_t>(usec.count() / 1000000);
+    tv.tv_usec = static_cast<suseconds_t>(usec.count() % 1000000);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+      return ErrnoStatus("setsockopt(SO_RCVTIMEO)", errno);
+    }
+  }
+  // Single-instance request/response frames: latency wants no Nagle delay.
+  const int one = 1;
+  if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)", errno);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("connect", errno);
+  return fd;
+}
+
+Result<AcceptOutcome> AcceptConnection(const Fd& listener) {
+  int raw;
+  do {
+    raw = ::accept(listener.get(), nullptr, nullptr);
+  } while (raw < 0 && errno == EINTR);
+  if (raw < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      AcceptOutcome out;
+      out.would_block = true;
+      return out;
+    }
+    // ECONNABORTED & friends: the connection died in the backlog; treat as
+    // transient, like the fault below.
+    if (errno == ECONNABORTED || errno == EPROTO) {
+      return ErrnoStatus("accept (transient)", errno);
+    }
+    return ErrnoStatus("accept", errno);
+  }
+  Fd fd(raw);
+  if (TREEWM_FAULT_FIRED("serve.wire.accept.fail")) {
+    // The kernel completed the handshake; injected failure tears it down
+    // before the server ever sees it — the client observes a reset.
+    return Status::IoError("wire: accept failed (injected fault)");
+  }
+  TREEWM_RETURN_IF_ERROR(SetNonBlocking(fd));
+  const int one = 1;
+  if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)", errno);
+  }
+  AcceptOutcome out;
+  out.fd = std::move(fd);
+  return out;
+}
+
+Status SetNonBlocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Result<IoOutcome> ReadSome(const Fd& fd, uint8_t* buf, size_t len) {
+  if (len == 0) return IoOutcome{};
+  if (TREEWM_FAULT_FIRED("serve.wire.read.reset")) {
+    return ResetStatus("read (injected fault)");
+  }
+  if (TREEWM_FAULT_FIRED("serve.wire.read.short")) len = 1;
+  ssize_t n;
+  do {
+    n = ::recv(fd.get(), buf, len, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      IoOutcome out;
+      out.would_block = true;
+      return out;
+    }
+    if (errno == ECONNRESET) return ResetStatus("read");
+    return ErrnoStatus("read", errno);
+  }
+  IoOutcome out;
+  if (n == 0) {
+    out.eof = true;
+  } else {
+    out.bytes = static_cast<size_t>(n);
+  }
+  return out;
+}
+
+Result<IoOutcome> WriteSome(const Fd& fd, const uint8_t* buf, size_t len) {
+  if (len == 0) return IoOutcome{};
+  if (TREEWM_FAULT_FIRED("serve.wire.write.short")) len = 1;
+  ssize_t n;
+  do {
+    n = ::send(fd.get(), buf, len, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      IoOutcome out;
+      out.would_block = true;
+      return out;
+    }
+    if (errno == ECONNRESET || errno == EPIPE) return ResetStatus("write");
+    return ErrnoStatus("write", errno);
+  }
+  IoOutcome out;
+  out.bytes = static_cast<size_t>(n);
+  return out;
+}
+
+Result<std::pair<Fd, Fd>> MakeWakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return ErrnoStatus("pipe", errno);
+  Fd read_end(fds[0]);
+  Fd write_end(fds[1]);
+  TREEWM_RETURN_IF_ERROR(SetNonBlocking(read_end));
+  TREEWM_RETURN_IF_ERROR(SetNonBlocking(write_end));
+  return std::make_pair(std::move(read_end), std::move(write_end));
+}
+
+void SignalWakePipe(const Fd& write_end) {
+  const uint8_t byte = 1;
+  ssize_t n;
+  do {
+    n = ::write(write_end.get(), &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  // A full pipe (EAGAIN) means a wake is already pending: nothing to do.
+}
+
+void DrainWakePipe(const Fd& read_end) {
+  uint8_t sink[64];
+  while (true) {
+    const ssize_t n = ::read(read_end.get(), sink, sizeof(sink));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+  }
+}
+
+bool IsTransportError(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+}  // namespace treewm::serve::wire

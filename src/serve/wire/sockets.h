@@ -1,0 +1,123 @@
+// Thin RAII + Status seam over the POSIX socket calls the wire layer uses.
+//
+// All socket I/O in src/serve/wire/ goes through these helpers for two
+// reasons: (1) errno handling and EINTR retries live in exactly one place,
+// mapped to typed Statuses (transport failures are IoError, programmer
+// errors InvalidArgument); (2) the FaultInjection registry gains wire-level
+// sites here, so tests can force the network weather that never happens on
+// loopback:
+//
+//   serve.wire.accept.fail   accept succeeds at the syscall level but the
+//                            connection is immediately closed (client sees a
+//                            reset — the kernel-backlog flake)
+//   serve.wire.read.short    a read is truncated to 1 byte (forces frame
+//                            reassembly across arbitrary split points)
+//   serve.wire.read.reset    a read fails as if the peer reset (ECONNRESET)
+//   serve.wire.write.short   a write is truncated to 1 byte (forces the
+//                            pending-output buffering path)
+//
+// ("serve.wire.frame.corrupt" lives in frame.cc — corruption is a framing
+// event, not a syscall event.) Sites are hit by whichever side of a
+// loopback test reads/writes through the seam; schedules therefore perturb
+// both client and server, which is exactly what the determinism matrix in
+// tests/test_wire.cc wants to survive.
+
+#ifndef TREEWM_SERVE_WIRE_SOCKETS_H_
+#define TREEWM_SERVE_WIRE_SOCKETS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+
+namespace treewm::serve::wire {
+
+/// Move-only RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of one read/write attempt on a (possibly nonblocking) fd.
+struct IoOutcome {
+  size_t bytes = 0;        ///< bytes transferred
+  bool would_block = false;  ///< EAGAIN/EWOULDBLOCK (or rcv-timeout expiry)
+  bool eof = false;        ///< orderly peer close (reads only)
+};
+
+/// Creates a loopback TCP listener on `port` (0 = kernel-assigned),
+/// nonblocking, SO_REUSEADDR, listening with `backlog`.
+[[nodiscard]] Result<Fd> ListenTcpLoopback(uint16_t port, int backlog);
+
+/// The port a listener (or connected socket) is bound to.
+[[nodiscard]] Result<uint16_t> LocalPort(const Fd& fd);
+
+/// Blocking loopback connect. `recv_timeout` > 0 sets SO_RCVTIMEO, so later
+/// reads surface `would_block` once it expires.
+[[nodiscard]] Result<Fd> ConnectTcpLoopback(
+    uint16_t port, std::chrono::nanoseconds recv_timeout = {});
+
+/// Accepts one pending connection from a nonblocking listener. An invalid
+/// Fd with would_block=true means no connection was pending. Fault site
+/// "serve.wire.accept.fail": the accepted connection is closed on the spot
+/// and IoError returned — the server treats it as a transient accept flake.
+struct AcceptOutcome {
+  Fd fd;
+  bool would_block = false;
+};
+[[nodiscard]] Result<AcceptOutcome> AcceptConnection(const Fd& listener);
+
+[[nodiscard]] Status SetNonBlocking(const Fd& fd);
+
+/// One read(2) attempt. Fault sites "serve.wire.read.short" (truncates the
+/// request to 1 byte) and "serve.wire.read.reset" (fails with IoError as if
+/// ECONNRESET). EINTR is retried internally.
+[[nodiscard]] Result<IoOutcome> ReadSome(const Fd& fd, uint8_t* buf, size_t len);
+
+/// One write(2) attempt (MSG_NOSIGNAL; a reset peer yields IoError, not
+/// SIGPIPE). Fault site "serve.wire.write.short" truncates the request to
+/// 1 byte, forcing callers through their pending-output path.
+[[nodiscard]] Result<IoOutcome> WriteSome(const Fd& fd, const uint8_t* buf,
+                                          size_t len);
+
+/// Nonblocking self-pipe for waking a poll loop: {read end, write end}.
+[[nodiscard]] Result<std::pair<Fd, Fd>> MakeWakePipe();
+
+/// Best-effort single-byte write to a wake pipe (full pipe is fine — the
+/// loop is already due to wake).
+void SignalWakePipe(const Fd& write_end);
+
+/// Drains a nonblocking wake pipe's read end.
+void DrainWakePipe(const Fd& read_end);
+
+/// True when `status` looks like a peer reset / broken transport — the
+/// class of failure a client may transparently reconnect-and-retry, since
+/// predictions are pure functions of the feature vector (idempotent).
+bool IsTransportError(const Status& status);
+
+}  // namespace treewm::serve::wire
+
+#endif  // TREEWM_SERVE_WIRE_SOCKETS_H_

@@ -1,0 +1,809 @@
+// Tests for the socket wire layer: fail-closed framing (every-prefix
+// truncation + byte-flip fuzz), loopback integration against a real
+// ServingFrontEnd (keep-alive, deadlines, mid-frame disconnects, accept
+// shedding, idle timeout, graceful drain), and the acceptance matrix —
+// completed wire responses bit-identical to the in-process front-end
+// across connection counts × fault schedules, with exactly-once accounting.
+
+#include "serve/wire/socket_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "forest/random_forest.h"
+#include "predict/flat_ensemble.h"
+#include "serve/retry.h"
+#include "serve/wire/frame.h"
+#include "serve/wire/socket_client.h"
+#include "serve/wire/sockets.h"
+
+namespace treewm::serve::wire {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+
+forest::RandomForest TrainForest(uint64_t seed, size_t num_trees = 9,
+                                 size_t rows = 300, size_t features = 6) {
+  auto d = data::synthetic::MakeBlobs(seed, rows, features, 1.5);
+  forest::ForestConfig config;
+  config.num_trees = num_trees;
+  config.seed = seed;
+  return forest::RandomForest::Fit(d, {}, config).MoveValue();
+}
+
+std::shared_ptr<const predict::FlatEnsemble> FlatOf(
+    const forest::RandomForest& forest) {
+  return std::make_shared<predict::FlatEnsemble>(
+      predict::FlatEnsemble::FromClassificationTrees(forest.trees()));
+}
+
+std::unique_ptr<ServingFrontEnd> MakeFrontEnd(
+    std::shared_ptr<const predict::FlatEnsemble> flat,
+    bool start_dispatcher = true) {
+  ServingOptions options;
+  options.queue.capacity = 256;
+  options.queue.shed_high_water = 224;
+  options.batch.max_batch_rows = 16;
+  options.batch.max_batch_delay = microseconds(100);
+  options.start_dispatcher = start_dispatcher;
+  return ServingFrontEnd::Create(std::move(flat), options).MoveValue();
+}
+
+PredictRequestMsg SampleRequest(uint64_t id = 7) {
+  PredictRequestMsg msg;
+  msg.request_id = id;
+  msg.timeout = milliseconds(250);
+  msg.features = {0.5f, -1.25f, 3.0f, 0.0f, -0.0f, 42.5f};
+  return msg;
+}
+
+/// Blocking raw-socket helper: writes all of `bytes` or fails the test.
+void RawWriteAll(const Fd& fd, std::span<const uint8_t> bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    auto wrote = WriteSome(fd, bytes.data() + written, bytes.size() - written);
+    ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+    ASSERT_FALSE(wrote.value().would_block);
+    written += wrote.value().bytes;
+  }
+}
+
+/// Blocking raw-socket helper: reads until `decoder` yields a frame.
+/// Returns nullopt on EOF or timeout.
+std::optional<Frame> RawReadFrame(const Fd& fd, FrameDecoder* decoder) {
+  while (true) {
+    auto next = decoder->Next();
+    if (!next.ok()) return std::nullopt;
+    if (next.value().has_value()) return std::move(*next.value());
+    uint8_t chunk[1024];
+    auto got = ReadSome(fd, chunk, sizeof(chunk));
+    if (!got.ok() || got.value().would_block || got.value().eof) {
+      return std::nullopt;
+    }
+    decoder->Feed(std::span<const uint8_t>(chunk, got.value().bytes));
+  }
+}
+
+/// Blocks until the peer (server) closes the connection; true on clean EOF.
+bool RawReadToEof(const Fd& fd) {
+  uint8_t chunk[256];
+  while (true) {
+    auto got = ReadSome(fd, chunk, sizeof(chunk));
+    if (!got.ok() || got.value().would_block) return false;
+    if (got.value().eof) return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding / decoding
+
+TEST(FrameTest, PredictRequestRoundTrip) {
+  const PredictRequestMsg msg = SampleRequest();
+  const std::vector<uint8_t> wire = EncodePredictRequest(msg);
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->type, FrameType::kPredictRequest);
+
+  auto decoded = DecodePredictRequest(frame.value()->body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().request_id, msg.request_id);
+  EXPECT_EQ(decoded.value().timeout, msg.timeout);
+  EXPECT_EQ(decoded.value().features, msg.features);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_FALSE(decoder.HasPartialFrame());
+}
+
+TEST(FrameTest, PredictResponseErrorAndPingRoundTrip) {
+  PredictResponseMsg response;
+  response.request_id = 11;
+  response.label = -1;
+  response.votes = {1, -1, 1, 1, -1};
+  ErrorMsg error;
+  error.request_id = 12;
+  error.code = StatusCode::kResourceExhausted;
+  error.message = "queue full";
+  PingMsg ping;
+  ping.token = 0xDEADBEEFCAFEBABEULL;
+
+  FrameDecoder decoder;
+  decoder.Feed(EncodePredictResponse(response));
+  decoder.Feed(EncodeError(error));
+  decoder.Feed(EncodePing(FrameType::kPong, ping));
+
+  auto f1 = decoder.Next();
+  ASSERT_TRUE(f1.ok() && f1.value().has_value());
+  auto decoded_response = DecodePredictResponse(f1.value()->body);
+  ASSERT_TRUE(decoded_response.ok());
+  EXPECT_EQ(decoded_response.value().request_id, 11u);
+  EXPECT_EQ(decoded_response.value().label, -1);
+  EXPECT_EQ(decoded_response.value().votes, response.votes);
+
+  auto f2 = decoder.Next();
+  ASSERT_TRUE(f2.ok() && f2.value().has_value());
+  auto decoded_error = DecodeError(f2.value()->body);
+  ASSERT_TRUE(decoded_error.ok());
+  EXPECT_EQ(decoded_error.value().ToStatus().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded_error.value().message, "queue full");
+
+  auto f3 = decoder.Next();
+  ASSERT_TRUE(f3.ok() && f3.value().has_value());
+  EXPECT_EQ(f3.value()->type, FrameType::kPong);
+  auto decoded_ping = DecodePing(f3.value()->body);
+  ASSERT_TRUE(decoded_ping.ok());
+  EXPECT_EQ(decoded_ping.value().token, ping.token);
+}
+
+TEST(FrameTest, NoDeadlineNormalizesToZeroOnTheWire) {
+  PredictRequestMsg msg = SampleRequest();
+  msg.timeout = kNoDeadline;  // must NOT travel as int64-max
+  const std::vector<uint8_t> wire = EncodePredictRequest(msg);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok() && frame.value().has_value());
+  auto decoded = DecodePredictRequest(frame.value()->body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().timeout, nanoseconds(0));
+}
+
+TEST(FrameTest, IncrementalFeedAtEverySplitPoint) {
+  const std::vector<uint8_t> wire = EncodePredictRequest(SampleRequest());
+  for (size_t split = 0; split < wire.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Feed(std::span<const uint8_t>(wire.data(), split));
+    auto first = decoder.Next();
+    ASSERT_TRUE(first.ok()) << "split " << split;
+    EXPECT_FALSE(first.value().has_value()) << "split " << split;
+    decoder.Feed(std::span<const uint8_t>(wire.data() + split,
+                                          wire.size() - split));
+    auto second = decoder.Next();
+    ASSERT_TRUE(second.ok()) << "split " << split;
+    ASSERT_TRUE(second.value().has_value()) << "split " << split;
+    EXPECT_EQ(second.value()->type, FrameType::kPredictRequest);
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(FrameTest, EveryPrefixTruncationYieldsNoFrame) {
+  const std::vector<uint8_t> wire = EncodePredictRequest(SampleRequest());
+  for (size_t len = 0; len < wire.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.Feed(std::span<const uint8_t>(wire.data(), len));
+    auto next = decoder.Next();
+    // A strict prefix is either "need more bytes" or (never) an error —
+    // the header is valid, so it must simply be incomplete.
+    ASSERT_TRUE(next.ok()) << "prefix " << len;
+    EXPECT_FALSE(next.value().has_value()) << "prefix " << len;
+    EXPECT_EQ(decoder.HasPartialFrame(), len > 0) << "prefix " << len;
+  }
+}
+
+TEST(FrameTest, EveryPrefixOfTypedBodiesFailsClosed) {
+  const PredictRequestMsg request = SampleRequest();
+  PredictResponseMsg response;
+  response.request_id = 3;
+  response.label = 1;
+  response.votes = {1, -1, 1};
+  ErrorMsg error;
+  error.request_id = 4;
+  error.code = StatusCode::kDeadlineExceeded;
+  error.message = "expired";
+  PingMsg ping;
+  ping.token = 99;
+
+  // Strip the 16-byte frame header to get each valid body.
+  const auto body_of = [](std::vector<uint8_t> frame) {
+    return std::vector<uint8_t>(frame.begin() + kHeaderBytes, frame.end());
+  };
+  const std::vector<uint8_t> bodies[] = {
+      body_of(EncodePredictRequest(request)),
+      body_of(EncodePredictResponse(response)),
+      body_of(EncodeError(error)),
+      body_of(EncodePing(FrameType::kPing, ping)),
+  };
+  for (size_t which = 0; which < 4; ++which) {
+    const std::vector<uint8_t>& body = bodies[which];
+    for (size_t len = 0; len < body.size(); ++len) {
+      const std::span<const uint8_t> prefix(body.data(), len);
+      Status status = Status::OK();
+      switch (which) {
+        case 0: status = DecodePredictRequest(prefix).status(); break;
+        case 1: status = DecodePredictResponse(prefix).status(); break;
+        case 2: status = DecodeError(prefix).status(); break;
+        case 3: status = DecodePing(prefix).status(); break;
+      }
+      EXPECT_EQ(status.code(), StatusCode::kParseError)
+          << "body " << which << " prefix " << len;
+    }
+  }
+}
+
+TEST(FrameTest, EverySingleByteFlipFailsClosed) {
+  const std::vector<uint8_t> wire = EncodePredictRequest(SampleRequest());
+  for (size_t at = 0; at < wire.size(); ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = wire;
+      corrupt[at] ^= static_cast<uint8_t>(1u << bit);
+      FrameDecoder decoder;
+      decoder.Feed(corrupt);
+      auto next = decoder.Next();
+      // Never an accepted frame: either ParseError (magic/CRC/field check)
+      // or incomplete (a flipped length bit promising more bytes).
+      if (next.ok()) {
+        EXPECT_FALSE(next.value().has_value())
+            << "byte " << at << " bit " << bit << " was accepted";
+      } else {
+        EXPECT_EQ(next.status().code(), StatusCode::kParseError);
+      }
+    }
+  }
+}
+
+TEST(FrameTest, RandomFuzzNeverCrashesOrAcceptsGarbage) {
+  // Seeded, so a failure reproduces. Random blobs plus randomly mutated
+  // valid frames, decoded both whole and in random-size chunks.
+  Rng rng(20250808);
+  const std::vector<uint8_t> valid = EncodePredictRequest(SampleRequest());
+  for (int round = 0; round < 500; ++round) {
+    std::vector<uint8_t> blob;
+    if (round % 2 == 0) {
+      blob.resize(rng.UniformInt(200));
+      for (auto& b : blob) b = static_cast<uint8_t>(rng.UniformInt(256));
+    } else {
+      blob = valid;
+      const size_t flips = 1 + rng.UniformInt(4);
+      for (size_t i = 0; i < flips; ++i) {
+        blob[rng.UniformInt(blob.size())] ^=
+            static_cast<uint8_t>(1 + rng.UniformInt(255));
+      }
+    }
+    FrameDecoder decoder;
+    size_t fed = 0;
+    while (fed < blob.size()) {
+      const size_t chunk = 1 + rng.UniformInt(blob.size() - fed);
+      decoder.Feed(std::span<const uint8_t>(blob.data() + fed, chunk));
+      fed += chunk;
+      auto next = decoder.Next();
+      if (!next.ok()) {
+        EXPECT_EQ(next.status().code(), StatusCode::kParseError);
+        EXPECT_TRUE(decoder.poisoned());
+        // Poisoned streams repeat the error, they do not recover.
+        auto again = decoder.Next();
+        EXPECT_FALSE(again.ok());
+        break;
+      }
+      if (next.value().has_value()) {
+        // Only an untouched valid frame may decode; its body must then
+        // decode cleanly too (no half-trusted frames escape).
+        ASSERT_EQ(blob, valid);
+        EXPECT_TRUE(DecodePredictRequest(next.value()->body).ok());
+      }
+    }
+  }
+}
+
+TEST(FrameTest, OversizeBodyLengthFailsClosedBeforeBuffering) {
+  std::vector<uint8_t> frame = EncodePredictRequest(SampleRequest());
+  FrameDecoder decoder(/*max_body_bytes=*/8);  // smaller than the real body
+  decoder.Feed(frame);
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameTest, FeatureCountMismatchFailsClosed) {
+  // Body claims 1000 features but carries 6: the count must be checked
+  // against the bytes present before any allocation happens.
+  std::vector<uint8_t> frame = EncodePredictRequest(SampleRequest());
+  std::vector<uint8_t> body(frame.begin() + kHeaderBytes, frame.end());
+  body[16] = 0xE8;  // num_features u32le at body offset 16 -> 1000
+  body[17] = 0x03;
+  auto decoded = DecodePredictRequest(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(FrameTest, CorruptFaultSiteFailsClosed) {
+  FaultSpec always;
+  ScopedFault corrupt("serve.wire.frame.corrupt", always);
+  FrameDecoder decoder;
+  decoder.Feed(EncodePredictRequest(SampleRequest()));
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(corrupt.fires(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry predicate
+
+TEST(WireRetryTest, RetriesOverloadAndResetsOnly) {
+  EXPECT_TRUE(IsWireRetryableStatus(Status::ResourceExhausted("shed")));
+  EXPECT_TRUE(IsWireRetryableStatus(Status::IoError("connection reset")));
+  EXPECT_FALSE(IsWireRetryableStatus(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsWireRetryableStatus(Status::Timeout("slow")));
+  EXPECT_FALSE(IsWireRetryableStatus(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsWireRetryableStatus(Status::ParseError("garbage")));
+  EXPECT_FALSE(IsWireRetryableStatus(Status::FailedPrecondition("draining")));
+}
+
+TEST(WireRetryTest, RetryWithBackoffIfHonorsCustomPredicate) {
+  FakeClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  size_t calls = 0;
+  const Status outcome = RetryWithBackoffIf(
+      policy, &clock, IsWireRetryableStatus, [&]() -> Status {
+        ++calls;
+        return calls < 3 ? Status::IoError("connection reset")
+                         : Status::OK();
+      });
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(calls, 3u);
+
+  // The default helper does NOT retry transport errors.
+  calls = 0;
+  const Status untouched = RetryWithBackoff(policy, &clock, [&]() -> Status {
+    ++calls;
+    return Status::IoError("connection reset");
+  });
+  EXPECT_FALSE(untouched.ok());
+  EXPECT_EQ(calls, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback integration
+
+class WireLoopbackTest : public ::testing::Test {
+ protected:
+  void StartServer(SocketServerOptions options = {},
+                   bool start_dispatcher = true) {
+    forest_ = std::make_unique<forest::RandomForest>(TrainForest(5));
+    front_end_ = MakeFrontEnd(FlatOf(*forest_), start_dispatcher);
+    auto server = SocketServer::Create(front_end_.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).MoveValue();
+  }
+
+  SocketClient MakeClient() {
+    SocketClientOptions options;
+    options.port = server_->port();
+    options.recv_timeout = std::chrono::seconds(5);
+    return SocketClient(options);
+  }
+
+  std::vector<float> Probe(uint64_t salt) const {
+    std::vector<float> x(front_end_->num_features());
+    Rng rng(salt);
+    for (auto& v : x) {
+      v = static_cast<float>(rng.UniformRealRange(-2.0, 2.0));
+    }
+    return x;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (front_end_ != nullptr) front_end_->Shutdown();
+    if (server_ != nullptr) {
+      // Exactly-once accounting must close after drain.
+      const WireStats stats = server_->stats();
+      EXPECT_EQ(stats.requests_received,
+                stats.responses_sent + stats.refusals_sent +
+                    stats.responses_dropped);
+      EXPECT_EQ(stats.active_connections, 0u);
+      EXPECT_EQ(stats.connections_accepted, stats.connections_closed);
+    }
+  }
+
+  std::unique_ptr<forest::RandomForest> forest_;
+  std::unique_ptr<ServingFrontEnd> front_end_;
+  std::unique_ptr<SocketServer> server_;
+};
+
+TEST_F(WireLoopbackTest, PredictMatchesInProcessBitForBit) {
+  StartServer();
+  SocketClient client = MakeClient();
+  for (uint64_t i = 0; i < 20; ++i) {
+    const std::vector<float> x = Probe(i);
+    auto wire_result = client.Predict(x);
+    ASSERT_TRUE(wire_result.ok()) << wire_result.status().ToString();
+    auto local_result = front_end_->Predict(x);
+    ASSERT_TRUE(local_result.ok());
+    EXPECT_EQ(wire_result.value().label, local_result.value().label);
+    EXPECT_EQ(wire_result.value().votes, local_result.value().votes);
+  }
+}
+
+TEST_F(WireLoopbackTest, KeepAliveReusesOneConnection) {
+  StartServer();
+  SocketClient client = MakeClient();
+  ASSERT_TRUE(client.Ping().ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.Predict(Probe(i)).ok());
+  }
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.round_trips(), 12u);
+  const WireStats stats = server_->stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.requests_received, 10u);
+  EXPECT_EQ(stats.pings, 2u);
+}
+
+TEST_F(WireLoopbackTest, DeadlineExpiredOnWireFailsClosedTyped) {
+  StartServer();
+  SocketClient client = MakeClient();
+  // A 1ns budget is spent before the request even reaches admission; the
+  // refusal must come back as the original typed Status, not a generic
+  // failure — and must not be retried by the wire retry discipline.
+  auto result = client.Predict(Probe(1), nanoseconds(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(IsWireRetryableStatus(result.status()));
+  // The connection survives a per-request refusal.
+  EXPECT_TRUE(client.Predict(Probe(2)).ok());
+  EXPECT_EQ(server_->stats().connections_accepted, 1u);
+}
+
+TEST_F(WireLoopbackTest, GarbageBytesEarnTypedErrorAndClose) {
+  StartServer();
+  auto raw = ConnectTcpLoopback(server_->port(), std::chrono::seconds(5));
+  ASSERT_TRUE(raw.ok());
+  const uint8_t garbage[] = {'n', 'o', 't', ' ', 'a', ' ', 'f', 'r',
+                             'a', 'm', 'e', '!', '!', '!', '!', '!'};
+  RawWriteAll(raw.value(), garbage);
+  FrameDecoder decoder;
+  std::optional<Frame> reply = RawReadFrame(raw.value(), &decoder);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, FrameType::kError);
+  auto error = DecodeError(reply->body);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().request_id, 0u);  // connection-level
+  EXPECT_EQ(error.value().ToStatus().code(), StatusCode::kParseError);
+  // The server closes after a framing error — and keeps serving others.
+  EXPECT_TRUE(RawReadToEof(raw.value()));
+  SocketClient client = MakeClient();
+  EXPECT_TRUE(client.Predict(Probe(3)).ok());
+  EXPECT_GE(server_->stats().parse_errors, 1u);
+}
+
+TEST_F(WireLoopbackTest, MidFrameDisconnectLeavesServerServing) {
+  StartServer();
+  {
+    auto raw = ConnectTcpLoopback(server_->port(), std::chrono::seconds(5));
+    ASSERT_TRUE(raw.ok());
+    const std::vector<uint8_t> frame =
+        EncodePredictRequest(SampleRequest());
+    RawWriteAll(raw.value(),
+                std::span<const uint8_t>(frame.data(), frame.size() / 2));
+    // Half a frame on the wire, then vanish.
+  }
+  SocketClient client = MakeClient();
+  ASSERT_TRUE(client.Predict(Probe(4)).ok());
+  // The loop notices the dead peer on its next wake; poke it with traffic
+  // until the close is recorded.
+  for (int i = 0; i < 200 && server_->stats().closed_mid_frame == 0; ++i) {
+    ASSERT_TRUE(client.Ping().ok());
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(server_->stats().closed_mid_frame, 1u);
+}
+
+TEST_F(WireLoopbackTest, AcceptShedOverHighWaterIsTypedRefusal) {
+  SocketServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+  SocketClient holder = MakeClient();
+  ASSERT_TRUE(holder.Ping().ok());  // occupies the only slot, server-side
+  SocketClient refused = MakeClient();
+  auto result = refused.Predict(Probe(5));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsWireRetryableStatus(result.status()));  // polite clients back off
+  EXPECT_EQ(server_->stats().connections_shed, 1u);
+  // The holder's slot still works; once it leaves, a newcomer gets in.
+  ASSERT_TRUE(holder.Ping().ok());
+  holder.Close();
+  SocketClient next = MakeClient();
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(4);
+  auto eventually = next.PredictWithRetry(Probe(6), policy);
+  EXPECT_TRUE(eventually.ok()) << eventually.status().ToString();
+}
+
+TEST_F(WireLoopbackTest, InFlightCapRefusesOverrunKeepsConnection) {
+  SocketServerOptions options;
+  options.max_in_flight_per_connection = 2;
+  // Manual-mode front-end: requests park until the test pumps, so the
+  // pipelined overrun deterministically hits the cap.
+  StartServer(options, /*start_dispatcher=*/false);
+  auto raw = ConnectTcpLoopback(server_->port(), std::chrono::seconds(5));
+  ASSERT_TRUE(raw.ok());
+  std::vector<uint8_t> pipelined;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    PredictRequestMsg msg;
+    msg.request_id = id;
+    msg.features = Probe(id);
+    const std::vector<uint8_t> frame = EncodePredictRequest(msg);
+    pipelined.insert(pipelined.end(), frame.begin(), frame.end());
+  }
+  RawWriteAll(raw.value(), pipelined);
+
+  // The overrun refusal arrives without any pumping.
+  FrameDecoder decoder;
+  std::optional<Frame> first = RawReadFrame(raw.value(), &decoder);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->type, FrameType::kError);
+  auto refusal = DecodeError(first->body);
+  ASSERT_TRUE(refusal.ok());
+  EXPECT_EQ(refusal.value().request_id, 3u);
+  EXPECT_EQ(refusal.value().ToStatus().code(), StatusCode::kResourceExhausted);
+
+  // Pump the front-end; the two admitted requests complete and the
+  // connection — never closed — carries their responses back in order.
+  std::atomic<bool> stop_pumping{false};
+  ThreadPool pump_pool(1);
+  ASSERT_TRUE(pump_pool.Submit([&] {
+    while (!stop_pumping.load(std::memory_order_acquire)) {
+      front_end_->Pump(/*force_flush=*/true);
+      std::this_thread::yield();
+    }
+  }).ok());
+  for (uint64_t id = 1; id <= 2; ++id) {
+    std::optional<Frame> reply = RawReadFrame(raw.value(), &decoder);
+    ASSERT_TRUE(reply.has_value()) << "response " << id;
+    ASSERT_EQ(reply->type, FrameType::kPredictResponse);
+    auto msg = DecodePredictResponse(reply->body);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg.value().request_id, id);
+  }
+  stop_pumping.store(true, std::memory_order_release);
+  pump_pool.Shutdown();
+  const WireStats stats = server_->stats();
+  EXPECT_EQ(stats.requests_received, 3u);
+  EXPECT_EQ(stats.refusals_sent, 1u);
+  EXPECT_EQ(stats.responses_sent, 2u);
+}
+
+TEST_F(WireLoopbackTest, IdleTimeoutClosesQuietConnections) {
+  SocketServerOptions options;
+  options.idle_timeout = milliseconds(50);
+  StartServer(options);
+  auto raw = ConnectTcpLoopback(server_->port(), std::chrono::seconds(10));
+  ASSERT_TRUE(raw.ok());
+  const std::vector<uint8_t> ping = EncodePing(FrameType::kPing, PingMsg{1});
+  RawWriteAll(raw.value(), ping);
+  FrameDecoder decoder;
+  ASSERT_TRUE(RawReadFrame(raw.value(), &decoder).has_value());
+  // Go silent; the server must hang up on its own. The blocking read parks
+  // until the server-side close arrives as EOF — no sleeping, no polling.
+  EXPECT_TRUE(RawReadToEof(raw.value()));
+  EXPECT_EQ(server_->stats().idle_closed, 1u);
+}
+
+TEST_F(WireLoopbackTest, OversizeFrameOnWireFailsClosed) {
+  SocketServerOptions options;
+  options.max_body_bytes = 64;
+  StartServer(options);
+  PredictRequestMsg big;
+  big.request_id = 1;
+  big.features.assign(100, 1.0f);  // 400-byte body > 64
+  auto raw = ConnectTcpLoopback(server_->port(), std::chrono::seconds(5));
+  ASSERT_TRUE(raw.ok());
+  RawWriteAll(raw.value(), EncodePredictRequest(big));
+  FrameDecoder decoder;
+  std::optional<Frame> reply = RawReadFrame(raw.value(), &decoder);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, FrameType::kError);
+  auto error = DecodeError(reply->body);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().ToStatus().code(), StatusCode::kParseError);
+  EXPECT_TRUE(RawReadToEof(raw.value()));
+}
+
+TEST_F(WireLoopbackTest, DrainRefusesLateRequestsAndClosesEverything) {
+  StartServer();
+  SocketClient client = MakeClient();
+  ASSERT_TRUE(client.Predict(Probe(1)).ok());
+  server_->Shutdown();
+  // Anything after drain: the listener is closed, so new connections are
+  // refused at the transport, and the old connection was closed under us.
+  auto late = client.Predict(Probe(2));
+  EXPECT_FALSE(late.ok());
+  SocketClient newcomer = MakeClient();
+  EXPECT_FALSE(newcomer.Ping().ok());
+  const WireStats stats = server_->stats();
+  EXPECT_EQ(stats.requests_received, 1u);
+  EXPECT_EQ(stats.responses_sent, 1u);
+}
+
+TEST_F(WireLoopbackTest, DrainDeadlineAbandonsWedgedFrontEndExactlyOnce) {
+  SocketServerOptions options;
+  options.drain_deadline = milliseconds(100);
+  // Manual mode and nobody pumps: submitted requests can never complete, so
+  // drain MUST hit its deadline, drop the answers, and still balance the
+  // books — this is the "every accepted request answered or refused exactly
+  // once" property under the worst case.
+  StartServer(options, /*start_dispatcher=*/false);
+  auto raw = ConnectTcpLoopback(server_->port(), std::chrono::seconds(5));
+  ASSERT_TRUE(raw.ok());
+  std::vector<uint8_t> pipelined;
+  for (uint64_t id = 1; id <= 4; ++id) {
+    PredictRequestMsg msg;
+    msg.request_id = id;
+    msg.features = Probe(id);
+    const std::vector<uint8_t> frame = EncodePredictRequest(msg);
+    pipelined.insert(pipelined.end(), frame.begin(), frame.end());
+  }
+  RawWriteAll(raw.value(), pipelined);
+  // Ensure the server has read them before we drain.
+  for (int i = 0; i < 10000 && server_->stats().requests_received < 4; ++i) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(server_->stats().requests_received, 4u);
+  server_->Shutdown();
+  const WireStats stats = server_->stats();
+  EXPECT_EQ(stats.requests_received, 4u);
+  EXPECT_EQ(stats.responses_sent, 0u);
+  EXPECT_EQ(stats.responses_dropped, 4u);
+  // Manual front-end still owes its promises; complete them so its own
+  // drain accounting stays clean.
+  front_end_->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance matrix: determinism across connections × fault schedules
+
+struct FaultSchedule {
+  const char* name;
+  const char* site;      // nullptr = no fault armed
+  double probability;
+};
+
+class WireDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST(WireDeterminismMatrixTest, CompletedResponsesBitIdenticalUnderFaults) {
+  const forest::RandomForest forest = TrainForest(11);
+  const auto flat = FlatOf(forest);
+
+  // Reference answers from a pure in-process front-end, computed once.
+  const size_t kProbes = 24;
+  std::vector<std::vector<float>> probes;
+  std::vector<PredictResult> reference;
+  {
+    auto local = MakeFrontEnd(flat);
+    Rng rng(42);
+    for (size_t i = 0; i < kProbes; ++i) {
+      std::vector<float> x(local->num_features());
+      for (auto& v : x) {
+        v = static_cast<float>(rng.UniformRealRange(-2.0, 2.0));
+      }
+      auto result = local->Predict(x);
+      ASSERT_TRUE(result.ok());
+      probes.push_back(std::move(x));
+      reference.push_back(std::move(result).MoveValue());
+    }
+    local->Shutdown();
+  }
+
+  const FaultSchedule kSchedules[] = {
+      {"none", nullptr, 0.0},
+      {"short-read", "serve.wire.read.short", 0.3},
+      {"mid-frame-reset", "serve.wire.read.reset", 0.05},
+      {"accept-fail", "serve.wire.accept.fail", 0.3},
+  };
+  const size_t kConnections[] = {1, 4, 16};
+
+  for (const FaultSchedule& schedule : kSchedules) {
+    for (const size_t num_connections : kConnections) {
+      SCOPED_TRACE(std::string("schedule=") + schedule.name +
+                   " connections=" + std::to_string(num_connections));
+      auto front_end = MakeFrontEnd(flat);
+      auto server = SocketServer::Create(front_end.get(), {});
+      ASSERT_TRUE(server.ok());
+
+      std::optional<ScopedFault> fault;
+      if (schedule.site != nullptr) {
+        FaultSpec spec;
+        spec.probability = schedule.probability;
+        spec.seed = 0xFA017 + num_connections;
+        fault.emplace(schedule.site, spec);
+      }
+
+      std::atomic<uint64_t> completed{0};
+      std::atomic<uint64_t> failed{0};
+      std::atomic<uint64_t> mismatched{0};
+      {
+        ThreadPool clients(num_connections);
+        for (size_t c = 0; c < num_connections; ++c) {
+          ASSERT_TRUE(clients.Submit([&, c] {
+            SocketClientOptions client_options;
+            client_options.port = server.value()->port();
+            SocketClient client(client_options);
+            RetryPolicy policy;
+            policy.max_attempts = 8;
+            policy.initial_backoff = milliseconds(1);
+            policy.max_backoff = milliseconds(8);
+            policy.seed = c + 1;
+            for (size_t i = 0; i < kProbes; ++i) {
+              const size_t at = (c + i) % kProbes;
+              auto result = client.PredictWithRetry(probes[at], policy);
+              if (!result.ok()) {
+                failed.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              completed.fetch_add(1, std::memory_order_relaxed);
+              if (result.value().label != reference[at].label ||
+                  result.value().votes != reference[at].votes) {
+                mismatched.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }).ok());
+        }
+        clients.Shutdown();
+      }
+      fault.reset();  // disarm before drain so shutdown I/O is clean
+
+      server.value()->Shutdown();
+      const WireStats stats = server.value()->stats();
+      front_end->Shutdown();
+
+      // The wire may change WHICH requests complete — never their value.
+      EXPECT_EQ(mismatched.load(), 0u);
+      EXPECT_GT(completed.load(), 0u);
+      if (schedule.site == nullptr) {
+        EXPECT_EQ(failed.load(), 0u);
+        EXPECT_EQ(completed.load(), num_connections * kProbes);
+      }
+      // Exactly-once accounting closes in every cell.
+      EXPECT_EQ(stats.requests_received,
+                stats.responses_sent + stats.refusals_sent +
+                    stats.responses_dropped);
+      EXPECT_EQ(stats.active_connections, 0u);
+      EXPECT_EQ(stats.connections_accepted, stats.connections_closed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treewm::serve::wire

@@ -1,0 +1,24 @@
+// Fixture: fault-site discipline at the wire layer. The serve.wire.* sites
+// are catalogued in src/serve/README.md with exactly one code site each; a
+// fixture reusing one must trip the duplicate check, and a wire-flavored
+// name missing from the catalog must trip the catalog check. NEVER compiled.
+
+#include "common/fault_injection.h"
+
+namespace fixture {
+
+inline bool FirstWireSite() {
+  // "serve.wire.read.short" is catalogued, so the first code site is clean...
+  return TREEWM_FAULT_FIRED("serve.wire.read.short");
+}
+
+inline bool DuplicateWireSite() {
+  // ...but a second code site would make one armed fault fire in two places.
+  return TREEWM_FAULT_FIRED("serve.wire.read.short");  // expect-lint: fault-site
+}
+
+inline bool UncataloguedWireSite() {
+  return TREEWM_FAULT_FIRED("serve.wire.not.in.catalog");  // expect-lint: fault-site
+}
+
+}  // namespace fixture

@@ -1,0 +1,209 @@
+// serve_client — CLI for the wire protocol (src/serve/wire/).
+//
+// Subcommands:
+//   serve [port]                     train a demo forest, serve it on
+//                                    127.0.0.1:<port> (0 = kernel-picked;
+//                                    the bound port is printed), run until
+//                                    stdin closes (pipe `true |` for CI).
+//   ping <port>                      liveness round-trip.
+//   predict <port> f1,f2,...         one prediction; prints label + votes.
+//   load <port> <requests> [conns]   closed-loop load over keep-alive
+//                                    connections with the polite-client
+//                                    retry discipline; prints served/refused.
+//
+// Typical session:
+//   ./build/serve_client serve 7447 &
+//   ./build/serve_client ping 7447
+//   ./build/serve_client predict 7447 "$(python3 -c 'print(",".join(["0.5"]*30))')"
+//   ./build/serve_client load 7447 1000 4
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+#include "forest/random_forest.h"
+#include "predict/flat_ensemble.h"
+#include "serve/retry.h"
+#include "serve/serving_front_end.h"
+#include "serve/wire/socket_client.h"
+#include "serve/wire/socket_server.h"
+
+namespace {
+
+using namespace treewm;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: serve_client serve [port]\n"
+               "       serve_client ping <port>\n"
+               "       serve_client predict <port> f1,f2,...\n"
+               "       serve_client load <port> <requests> [connections]\n");
+  return 2;
+}
+
+std::vector<float> ParseFeatures(const std::string& csv) {
+  std::vector<float> features;
+  size_t at = 0;
+  while (at < csv.size()) {
+    size_t comma = csv.find(',', at);
+    if (comma == std::string::npos) comma = csv.size();
+    features.push_back(std::strtof(csv.substr(at, comma - at).c_str(), nullptr));
+    at = comma + 1;
+  }
+  return features;
+}
+
+int RunServe(uint16_t port) {
+  data::Dataset dataset = data::synthetic::MakeBreastCancerLike(/*seed=*/2025);
+  Rng rng(1);
+  auto split =
+      data::MakeTrainTest(dataset, /*test_fraction=*/0.3, &rng).MoveValue();
+  forest::ForestConfig config;
+  config.num_trees = 16;
+  config.seed = 5;
+  auto forest = forest::RandomForest::Fit(split.train, {}, config).MoveValue();
+
+  serve::ServingOptions serving_options;
+  serving_options.queue.capacity = 256;
+  serving_options.queue.shed_high_water = 192;
+  serving_options.batch.max_batch_rows = 32;
+  serving_options.batch.max_batch_delay = std::chrono::milliseconds(1);
+  auto serving = serve::ServingFrontEnd::Create(
+                     std::make_shared<predict::FlatEnsemble>(
+                         predict::FlatEnsemble::FromClassificationTrees(
+                             forest.trees())),
+                     serving_options)
+                     .MoveValue();
+
+  serve::wire::SocketServerOptions wire_options;
+  wire_options.port = port;
+  auto server =
+      serve::wire::SocketServer::Create(serving.get(), wire_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu trees over %zu features on 127.0.0.1:%u\n",
+              serving->num_trees(), serving->num_features(),
+              server.value()->port());
+  std::printf("press enter (or close stdin) to drain and exit\n");
+  std::fflush(stdout);
+  (void)std::getchar();  // blocks until input or EOF
+
+  server.value()->Shutdown();
+  const serve::wire::WireStats stats = server.value()->stats();
+  serving->Shutdown();
+  std::printf(
+      "wire: %llu conns (%llu shed), %llu requests -> %llu responses + "
+      "%llu refusals + %llu dropped, %llu parse errors\n",
+      (unsigned long long)stats.connections_accepted,
+      (unsigned long long)stats.connections_shed,
+      (unsigned long long)stats.requests_received,
+      (unsigned long long)stats.responses_sent,
+      (unsigned long long)stats.refusals_sent,
+      (unsigned long long)stats.responses_dropped,
+      (unsigned long long)stats.parse_errors);
+  return 0;
+}
+
+int RunPing(uint16_t port) {
+  serve::wire::SocketClientOptions options;
+  options.port = port;
+  serve::wire::SocketClient client(options);
+  const Status status = client.Ping();
+  std::printf("ping 127.0.0.1:%u: %s\n", port, status.ToString().c_str());
+  return status.ok() ? 0 : 1;
+}
+
+int RunPredict(uint16_t port, const std::string& csv) {
+  const std::vector<float> features = ParseFeatures(csv);
+  if (features.empty()) {
+    std::fprintf(stderr, "predict: no features parsed from '%s'\n", csv.c_str());
+    return 2;
+  }
+  serve::wire::SocketClientOptions options;
+  options.port = port;
+  serve::wire::SocketClient client(options);
+  serve::RetryPolicy policy;
+  auto result = client.PredictWithRetry(features, policy);
+  if (!result.ok()) {
+    std::fprintf(stderr, "predict: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("label %+d, votes", result.value().label);
+  for (int8_t vote : result.value().votes) std::printf(" %+d", (int)vote);
+  std::printf("\n");
+  return 0;
+}
+
+int RunLoad(uint16_t port, size_t requests, size_t connections) {
+  if (connections == 0) connections = 1;
+  data::Dataset dataset = data::synthetic::MakeBreastCancerLike(/*seed=*/2025);
+  const size_t per_conn = (requests + connections - 1) / connections;
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> refused{0};
+  std::atomic<uint64_t> failed{0};
+  ThreadPool pool(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    const Status submitted = pool.Submit([&, c] {
+      serve::wire::SocketClientOptions options;
+      options.port = port;
+      serve::wire::SocketClient client(options);
+      serve::RetryPolicy policy;
+      policy.seed = c + 1;
+      for (size_t i = 0; i < per_conn; ++i) {
+        auto row = dataset.Row((c * per_conn + i) % dataset.num_rows());
+        auto result = client.PredictWithRetry(row, policy);
+        if (result.ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.status().code() == StatusCode::kResourceExhausted) {
+          refused.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "load: %s\n", submitted.ToString().c_str());
+      return 1;
+    }
+  }
+  pool.Shutdown();
+  std::printf("load: %llu served, %llu refused (overload), %llu failed over "
+              "%zu connection(s)\n",
+              (unsigned long long)served.load(),
+              (unsigned long long)refused.load(),
+              (unsigned long long)failed.load(), connections);
+  return failed.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "serve") {
+    const uint16_t port =
+        argc >= 3 ? static_cast<uint16_t>(std::atoi(argv[2])) : 0;
+    return RunServe(port);
+  }
+  if (command == "ping" && argc >= 3) {
+    return RunPing(static_cast<uint16_t>(std::atoi(argv[2])));
+  }
+  if (command == "predict" && argc >= 4) {
+    return RunPredict(static_cast<uint16_t>(std::atoi(argv[2])), argv[3]);
+  }
+  if (command == "load" && argc >= 4) {
+    const size_t requests = static_cast<size_t>(std::atoll(argv[3]));
+    const size_t connections =
+        argc >= 5 ? static_cast<size_t>(std::atoll(argv[4])) : 1;
+    return RunLoad(static_cast<uint16_t>(std::atoi(argv[2])), requests,
+                   connections);
+  }
+  return Usage();
+}
