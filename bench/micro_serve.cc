@@ -32,7 +32,10 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "io/ensemble_snapshot.h"
+#include "io/model_io.h"
 #include "predict/flat_ensemble.h"
+#include "serve/registry/model_registry.h"
 #include "serve/serving_front_end.h"
 #include "serve/wire/frame.h"
 #include "serve/wire/socket_client.h"
@@ -105,9 +108,12 @@ struct OpenLoopOutcome {
   double elapsed_s = 0;
 };
 
-OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
-                            size_t num_requests, uint64_t seed) {
-  const auto& fx = ServeFixture();
+/// Open-loop core over any submit callable (`submit(i)` returns the
+/// request's future) — shared by the front-end sweep and the registry
+/// mixed-traffic bench.
+template <typename SubmitFn>
+OpenLoopOutcome RunOpenLoopWith(SubmitFn&& submit, double offered_rps,
+                                size_t num_requests, uint64_t seed) {
   std::vector<std::future<Result<serve::PredictResult>>> futures(num_requests);
   std::vector<steady_clock::time_point> submitted(num_requests);
   std::atomic<size_t> produced{0};
@@ -145,7 +151,7 @@ OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
       // Spin: gaps are microseconds, far below sleep_for resolution.
     }
     submitted[i] = steady_clock::now();
-    futures[i] = serving->SubmitPredict(fx.data.Row(i % fx.data.num_rows()));
+    futures[i] = submit(i);
     produced.store(i + 1, std::memory_order_release);
     const double gap_s = -std::log(1.0 - rng.UniformReal()) / offered_rps;
     next_arrival += std::chrono::duration_cast<steady_clock::duration>(
@@ -159,6 +165,16 @@ OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
   outcome.elapsed_s =
       std::chrono::duration<double>(steady_clock::now() - start).count();
   return outcome;
+}
+
+OpenLoopOutcome RunOpenLoop(serve::ServingFrontEnd* serving, double offered_rps,
+                            size_t num_requests, uint64_t seed) {
+  const auto& fx = ServeFixture();
+  return RunOpenLoopWith(
+      [&](size_t i) {
+        return serving->SubmitPredict(fx.data.Row(i % fx.data.num_rows()));
+      },
+      offered_rps, num_requests, seed);
 }
 
 double Percentile(std::vector<double>* values, double p) {
@@ -472,6 +488,131 @@ BENCHMARK(BM_ServeSingleClientRoundTrip)
     ->Arg(0)
     ->Arg(200)
     ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Model registry: cold start and bulkhead isolation under overload.
+
+// Cold start: file on disk -> FlatEnsemble ready to serve. format=0 is the
+// JSON path (LoadForest parse + flatten — what a registry restart costs
+// without snapshots); format=1 is the binary snapshot (CRC-checked arena
+// read, io/ensemble_snapshot.h). Same model either way; bytes_on_disk shows
+// the size gap alongside the latency gap.
+void BM_RegistryColdStart(benchmark::State& state) {
+  const bool use_snapshot = state.range(0) == 1;
+  const auto& fx = ServeFixture();
+  const std::string path = use_snapshot ? "/tmp/treewm_bench_cold.twsn"
+                                        : "/tmp/treewm_bench_cold.json";
+  if (use_snapshot) {
+    const auto flat =
+        predict::FlatEnsemble::FromClassificationTrees(fx.forest.trees());
+    if (!io::SaveEnsembleSnapshot(flat, path).ok()) std::abort();
+  } else {
+    if (!io::SaveForest(fx.forest, path).ok()) std::abort();
+  }
+
+  size_t bytes_on_disk = 0;
+  for (auto _ : state) {
+    if (use_snapshot) {
+      auto image = io::LoadEnsembleSnapshot(path);
+      if (!image.ok()) std::abort();
+      bytes_on_disk = 0;  // reported via the file below either way
+      benchmark::DoNotOptimize(image.value());
+    } else {
+      auto forest = io::LoadForest(path);
+      if (!forest.ok()) std::abort();
+      auto image =
+          predict::FlatEnsemble::FromClassificationTrees(forest.value().trees());
+      benchmark::DoNotOptimize(image);
+    }
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    bytes_on_disk = static_cast<size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+  state.counters["bytes_on_disk"] = static_cast<double>(bytes_on_disk);
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_RegistryColdStart)
+    ->ArgNames({"snapshot"})
+    ->Arg(0)   // JSON parse + flatten
+    ->Arg(1)   // binary snapshot
+    ->Unit(benchmark::kMicrosecond);
+
+// Bulkhead isolation gate: two models in one registry, the "hot" model
+// driven open-loop at 400% of the measured max while the "cold" model sees
+// light traffic. The run reports the cold model's p99 both alone and under
+// the neighbor's overload — bulkheads mean the overload is absorbed by the
+// hot model's own queue (hot_shed_rate > 0) and cold_p99_us stays at its
+// alone baseline instead of inheriting the hot model's queueing delay.
+void BM_RegistryMixedTrafficOverload(benchmark::State& state) {
+  const auto& fx = ServeFixture();
+  const double hot_rps = BaseRatePerSec() * 4.0;   // 400%: deep overload
+  const double cold_rps = BaseRatePerSec() * 0.1;  // light, latency-sensitive
+  const size_t kHotRequests = 1500;
+  const size_t kColdRequests = 300;
+
+  OpenLoopOutcome hot, cold_alone, cold_under_overload;
+  for (auto _ : state) {
+    serve::ModelRegistryOptions registry_options;
+    registry_options.serving = LoadTestOptions(200);
+    auto registry = serve::ModelRegistry::Create(registry_options).MoveValue();
+    if (!registry->Load("hot", ServeEnsemble()).ok()) std::abort();
+    if (!registry->Load("cold", ServeEnsemble()).ok()) std::abort();
+
+    const auto submit_to = [&](const char* id) {
+      return [&, id](size_t i) {
+        return registry->SubmitPredict(id,
+                                       fx.data.Row(i % fx.data.num_rows()));
+      };
+    };
+    // Baseline: the cold model with no noisy neighbor.
+    cold_alone =
+        RunOpenLoopWith(submit_to("cold"), cold_rps, kColdRequests, 31);
+    // Same cold traffic while the hot model is driven 4x over capacity.
+    {
+      ThreadPool drivers(2);
+      const Status hot_driver = drivers.Submit([&] {
+        hot = RunOpenLoopWith(submit_to("hot"), hot_rps, kHotRequests, 32);
+      });
+      const Status cold_driver = drivers.Submit([&] {
+        cold_under_overload =
+            RunOpenLoopWith(submit_to("cold"), cold_rps, kColdRequests, 33);
+      });
+      if (!hot_driver.ok() || !cold_driver.ok()) std::abort();
+      drivers.Shutdown();
+    }
+    registry->Shutdown();
+    const serve::RegistryStats stats = registry->stats();
+    // The registry accounting identity must close even at 4x overload.
+    if (stats.submitted != stats.serving.submitted +
+                               stats.refused_unknown_model +
+                               stats.refused_not_serving) {
+      std::abort();
+    }
+  }
+  state.counters["hot_offered_rps"] = hot_rps;
+  state.counters["hot_shed_rate"] = static_cast<double>(hot.shed) /
+                                    static_cast<double>(kHotRequests);
+  state.counters["hot_p99_us"] = Percentile(&hot.latencies_us, 0.99);
+  state.counters["cold_p99_alone_us"] =
+      Percentile(&cold_alone.latencies_us, 0.99);
+  state.counters["cold_p99_us"] =
+      Percentile(&cold_under_overload.latencies_us, 0.99);
+  state.counters["cold_shed_rate"] =
+      static_cast<double>(cold_under_overload.shed) /
+      static_cast<double>(kColdRequests);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(hot.latencies_us.size() +
+                           cold_under_overload.latencies_us.size()) *
+      static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryMixedTrafficOverload)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace treewm {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  for (uint8_t b : data) {
+    state = kTable[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace treewm

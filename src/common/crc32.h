@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) shared by every
+// layer that checksums untrusted bytes: the wire framing (serve/wire/frame),
+// the binary ensemble snapshot format (io/ensemble_snapshot), and the model
+// registry's image checksums. One implementation means one set of test
+// vectors and no chance of two layers disagreeing about what "the" CRC of a
+// byte range is.
+
+#ifndef TREEWM_COMMON_CRC32_H_
+#define TREEWM_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace treewm {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final xor 0xFFFFFFFF — the standard
+/// "CRC-32" everyone's `crc32` tool computes).
+uint32_t Crc32(std::span<const uint8_t> data);
+
+/// Incremental form: feed `Crc32Init()` through any number of
+/// `Crc32Update()` calls, then `Crc32Finish()`. `Crc32(d)` ==
+/// `Crc32Finish(Crc32Update(Crc32Init(), d))`.
+inline constexpr uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data);
+inline constexpr uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace treewm
+
+#endif  // TREEWM_COMMON_CRC32_H_

@@ -1,0 +1,79 @@
+// Versioned, CRC-checked binary snapshot of a packed FlatEnsemble — the
+// model registry's cold-start format.
+//
+// The JSON model files (model_io) rebuild the pointer-tree forest and
+// re-pack the flat arena on every process start; a snapshot instead stores
+// the packed arena itself as length-prefixed POD sections, so loading is
+// read + checksum + validate + adopt, no re-packing. Layout (all integers
+// little-endian):
+//
+//   offset 0   u8[4]  magic "TWSN"
+//   offset 4   u32le  format version (kSnapshotVersion)
+//   offset 8   u32le  section count
+//   offset 12  u32le  CRC-32 over header bytes [4, 12) + all section bytes
+//   offset 16  sections, each:  u32le section id, u64le byte length, payload
+//
+// Sections (exactly one of each required section, in any order):
+//   kMetaSection (1)        u64 num_features, u8 is_regression,
+//                           f64 initial_score, f64 learning_rate,
+//                           u64 num_nodes, u64 num_roots, u64 num_leaves
+//   kRootsSection (2)       i64[num_roots] tree entries
+//   kNodesSection (3)       FlatNode[num_nodes] raw 32-byte records
+//   kLeafLabelsSection (4)  i8[num_leaves]  (classification only)
+//   kLeafValuesSection (5)  f64[num_leaves] (regression only)
+//
+// Decoding follows the wire framing's discipline exactly: no length field
+// is ever trusted (every section length is bounds-checked against the bytes
+// present before anything is read), the CRC covers everything after the
+// magic so any single flipped bit is detected, and every failure — short
+// file, trailing bytes, unknown/duplicate/missing section, count mismatch,
+// or an arena that fails FlatEnsemble::FromParts validation — is a typed
+// ParseError, never a crash and never a silently different model
+// (tests/test_snapshot.cc fuzzes every prefix and every byte flip).
+//
+// Fault site "serve.registry.snapshot.corrupt": when armed, a bit of the
+// just-read file image is flipped before decoding, so the registry's
+// cold-start path exercises exactly the corrupt-file failure mode.
+
+#ifndef TREEWM_IO_ENSEMBLE_SNAPSHOT_H_
+#define TREEWM_IO_ENSEMBLE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "predict/flat_ensemble.h"
+
+namespace treewm::io {
+
+inline constexpr uint8_t kSnapshotMagic[4] = {'T', 'W', 'S', 'N'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Serializes the packed arena. The encoding is deterministic: the same
+/// ensemble always produces the same bytes (and therefore the same CRC —
+/// which is also what `EnsembleChecksum` reports).
+std::vector<uint8_t> EncodeEnsembleSnapshot(const predict::FlatEnsemble& ensemble);
+
+/// Decodes and validates a snapshot image. Fails closed with ParseError on
+/// any malformed input.
+[[nodiscard]] Result<predict::FlatEnsemble> DecodeEnsembleSnapshot(
+    std::span<const uint8_t> bytes);
+
+/// File round-trip. Load reads the file (IoError on filesystem failure)
+/// and decodes it (ParseError on any corruption).
+[[nodiscard]] Status SaveEnsembleSnapshot(const predict::FlatEnsemble& ensemble,
+                                          const std::string& path);
+[[nodiscard]] Result<predict::FlatEnsemble> LoadEnsembleSnapshot(
+    const std::string& path);
+
+/// CRC-32 identity of an ensemble's packed image — the checksum a snapshot
+/// of it would carry, computable without writing one. The registry reports
+/// it per model so operators can tell which image a server is actually
+/// serving.
+uint32_t EnsembleChecksum(const predict::FlatEnsemble& ensemble);
+
+}  // namespace treewm::io
+
+#endif  // TREEWM_IO_ENSEMBLE_SNAPSHOT_H_

@@ -81,6 +81,72 @@ FlatEnsemble FlatEnsemble::FromClassificationTree(const tree::DecisionTree& tree
   return FromClassificationTrees({&tree, 1});
 }
 
+Result<FlatEnsemble> FlatEnsemble::FromParts(
+    std::vector<FlatNode> nodes, std::vector<int64_t> roots,
+    std::vector<int8_t> leaf_labels, std::vector<double> leaf_values,
+    size_t num_features, bool is_regression, double initial_score,
+    double learning_rate) {
+  if (roots.empty()) return Status::InvalidArgument("flat ensemble has no trees");
+  if (num_features == 0) {
+    return Status::InvalidArgument("flat ensemble needs at least one feature");
+  }
+  const size_t num_leaves = is_regression ? leaf_values.size() : leaf_labels.size();
+  if (num_leaves == 0) {
+    return Status::InvalidArgument("flat ensemble has no leaf payloads");
+  }
+  if (is_regression ? !leaf_labels.empty() : !leaf_values.empty()) {
+    return Status::InvalidArgument(
+        "flat ensemble carries the wrong leaf payload kind");
+  }
+  if (!is_regression && (initial_score != 0.0 || learning_rate != 0.0)) {
+    return Status::InvalidArgument(
+        "classification ensemble carries additive-model constants");
+  }
+  const int64_t arena_bytes =
+      static_cast<int64_t>(nodes.size()) * static_cast<int64_t>(sizeof(FlatNode));
+  auto valid_entry = [&](int64_t e) {
+    if (e < 0) return static_cast<uint64_t>(~e) < num_leaves;
+    return e % static_cast<int64_t>(sizeof(FlatNode)) == 0 && e < arena_bytes;
+  };
+  for (int64_t r : roots) {
+    if (!valid_entry(r)) {
+      return Status::InvalidArgument("flat ensemble root entry out of range");
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const FlatNode& n = nodes[i];
+    const int32_t feature = n.feature();
+    if (feature < 0 || static_cast<size_t>(feature) >= num_features) {
+      return Status::InvalidArgument("flat ensemble split feature out of range");
+    }
+    const int64_t own = static_cast<int64_t>(i) * static_cast<int64_t>(sizeof(FlatNode));
+    for (int64_t c : {n.child[0], n.child[1]}) {
+      // Forward-only internal edges are what makes traversal termination a
+      // load-time fact instead of a runtime hope.
+      if (!valid_entry(c) || (c >= 0 && c <= own)) {
+        return Status::InvalidArgument("flat ensemble child entry out of range");
+      }
+    }
+  }
+  if (!is_regression) {
+    for (int8_t label : leaf_labels) {
+      if (label != 1 && label != -1) {
+        return Status::InvalidArgument("flat ensemble leaf label must be +1/-1");
+      }
+    }
+  }
+  FlatEnsemble out;
+  out.nodes_ = std::move(nodes);
+  out.roots_ = std::move(roots);
+  out.leaf_labels_ = std::move(leaf_labels);
+  out.leaf_values_ = std::move(leaf_values);
+  out.num_features_ = num_features;
+  out.is_regression_ = is_regression;
+  out.initial_score_ = initial_score;
+  out.learning_rate_ = learning_rate;
+  return out;
+}
+
 FlatEnsemble FlatEnsemble::FromRegressionTrees(
     std::span<const boosting::RegressionTree> trees, double initial_score,
     double learning_rate) {

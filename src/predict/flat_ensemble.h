@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "boosting/regression_tree.h"
+#include "common/status.h"
 #include "predict/flat_cache.h"
 #include "tree/decision_tree.h"
 
@@ -99,6 +100,24 @@ class FlatEnsemble {
   /// can be reproduced in exactly the scalar accumulation order.
   static FlatEnsemble FromRegressionTrees(
       std::span<const boosting::RegressionTree> trees, double initial_score,
+      double learning_rate);
+
+  /// Rebuilds an ensemble from a raw packed arena — the binary-snapshot load
+  /// path (io/ensemble_snapshot), which hands it attacker-controllable
+  /// bytes. Validates everything traversal safety depends on before
+  /// accepting: every root and child entry is either a 32-byte-aligned
+  /// in-arena offset or the complement of an in-range leaf payload, every
+  /// internal child offset is strictly greater than its parent's (the
+  /// packer's invariant — source trees index children after parents — which
+  /// guarantees every traversal terminates), every split feature is in
+  /// [0, num_features), classification leaves are ±1, and exactly the leaf
+  /// array matching `is_regression` is populated. Rejects with
+  /// InvalidArgument; it does NOT re-derive which arena range belongs to
+  /// which tree (roots may share subtrees without breaking safety).
+  static Result<FlatEnsemble> FromParts(
+      std::vector<FlatNode> nodes, std::vector<int64_t> roots,
+      std::vector<int8_t> leaf_labels, std::vector<double> leaf_values,
+      size_t num_features, bool is_regression, double initial_score,
       double learning_rate);
 
   size_t num_trees() const { return roots_.size(); }

@@ -1,9 +1,10 @@
 #include "serve/wire/frame.h"
 
-#include <array>
 #include <bit>
 #include <cstring>
+#include <string_view>
 
+#include "common/crc32.h"
 #include "common/fault_injection.h"
 
 namespace treewm::serve::wire {
@@ -45,6 +46,12 @@ class ByteReader {
 
   uint8_t U8() { return Take(1) ? data_[pos_ - 1] : 0; }
 
+  uint16_t U16() {
+    if (!Take(2)) return 0;
+    return static_cast<uint16_t>(data_[pos_ - 2]) |
+           static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_ - 1]) << 8);
+  }
+
   uint32_t U32() {
     if (!Take(4)) return 0;
     return ReadU32At(data_.data() + pos_ - 4);
@@ -81,55 +88,42 @@ Status TruncatedBody(const char* what) {
                             " body");
 }
 
-// CRC-32 (IEEE, reflected), table generated at first use.
-const std::array<uint32_t, 256>& CrcTable() {
-  static const std::array<uint32_t, 256>* table = [] {
-    auto* t = new std::array<uint32_t, 256>();
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      (*t)[i] = c;
-    }
-    return t;
-  }();
-  return *table;
-}
-
-uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len) {
-  const auto& table = CrcTable();
-  for (size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc;
-}
-
 /// CRC over the covered header fields (bytes [4, 12): version, type,
-/// reserved, body length) continued over the body.
+/// reserved, body length) continued over the body. The shared common/crc32
+/// implementation keeps this, the snapshot format, and the registry's image
+/// checksums on one set of test vectors.
 uint32_t FrameCrc(const uint8_t* header, std::span<const uint8_t> body) {
-  uint32_t crc = 0xFFFFFFFFu;
-  crc = Crc32Update(crc, header + 4, 8);
-  crc = Crc32Update(crc, body.data(), body.size());
-  return crc ^ 0xFFFFFFFFu;
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, std::span<const uint8_t>(header + 4, 8));
+  crc = Crc32Update(crc, body);
+  return Crc32Finish(crc);
 }
 
-bool ValidFrameType(uint8_t type) {
-  return type >= static_cast<uint8_t>(FrameType::kPredictRequest) &&
-         type <= static_cast<uint8_t>(FrameType::kPong);
+bool ValidWireVersion(uint8_t version) {
+  return version == kWireVersion || version == kWireVersionMultiModel;
+}
+
+bool ValidFrameType(uint8_t version, uint8_t type) {
+  const uint8_t max = version >= kWireVersionMultiModel
+                          ? static_cast<uint8_t>(FrameType::kModelsResponse)
+                          : static_cast<uint8_t>(FrameType::kPong);
+  return type >= static_cast<uint8_t>(FrameType::kPredictRequest) && type <= max;
+}
+
+void PutString16(std::string_view s, std::vector<uint8_t>* out) {
+  PutU16(static_cast<uint16_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
 }
 
 }  // namespace
 
-uint32_t Crc32(std::span<const uint8_t> data) {
-  return Crc32Update(0xFFFFFFFFu, data.data(), data.size()) ^ 0xFFFFFFFFu;
-}
+uint32_t Crc32(std::span<const uint8_t> data) { return treewm::Crc32(data); }
 
 void AppendFrame(FrameType type, std::span<const uint8_t> body,
-                 std::vector<uint8_t>* out) {
+                 std::vector<uint8_t>* out, uint8_t version) {
   const size_t header_at = out->size();
   out->insert(out->end(), std::begin(kMagic), std::end(kMagic));
-  out->push_back(kWireVersion);
+  out->push_back(version);
   out->push_back(static_cast<uint8_t>(type));
   PutU16(0, out);  // reserved
   PutU32(static_cast<uint32_t>(body.size()), out);
@@ -144,9 +138,10 @@ void AppendFrame(FrameType type, std::span<const uint8_t> body,
 
 // ----------------------------------------------------------------- encode ----
 
-std::vector<uint8_t> EncodePredictRequest(const PredictRequestMsg& msg) {
+std::vector<uint8_t> EncodePredictRequest(const PredictRequestMsg& msg,
+                                          uint8_t version) {
   std::vector<uint8_t> body;
-  body.reserve(20 + 4 * msg.features.size());
+  body.reserve(22 + msg.model_id.size() + 4 * msg.features.size());
   PutU64(msg.request_id, &body);
   // Zero is the wire's only "no deadline" spelling; kNoDeadline (and any
   // non-positive value) normalizes to it so the server never computes
@@ -156,15 +151,17 @@ std::vector<uint8_t> EncodePredictRequest(const PredictRequestMsg& msg) {
           ? msg.timeout.count()
           : 0;
   PutU64(static_cast<uint64_t>(timeout_ns), &body);
+  if (version >= kWireVersionMultiModel) PutString16(msg.model_id, &body);
   PutU32(static_cast<uint32_t>(msg.features.size()), &body);
   for (float f : msg.features) PutU32(std::bit_cast<uint32_t>(f), &body);
   std::vector<uint8_t> frame;
   frame.reserve(kHeaderBytes + body.size());
-  AppendFrame(FrameType::kPredictRequest, body, &frame);
+  AppendFrame(FrameType::kPredictRequest, body, &frame, version);
   return frame;
 }
 
-std::vector<uint8_t> EncodePredictResponse(const PredictResponseMsg& msg) {
+std::vector<uint8_t> EncodePredictResponse(const PredictResponseMsg& msg,
+                                           uint8_t version) {
   std::vector<uint8_t> body;
   body.reserve(16 + msg.votes.size());
   PutU64(msg.request_id, &body);
@@ -173,11 +170,11 @@ std::vector<uint8_t> EncodePredictResponse(const PredictResponseMsg& msg) {
   for (int8_t v : msg.votes) body.push_back(static_cast<uint8_t>(v));
   std::vector<uint8_t> frame;
   frame.reserve(kHeaderBytes + body.size());
-  AppendFrame(FrameType::kPredictResponse, body, &frame);
+  AppendFrame(FrameType::kPredictResponse, body, &frame, version);
   return frame;
 }
 
-std::vector<uint8_t> EncodeError(const ErrorMsg& msg) {
+std::vector<uint8_t> EncodeError(const ErrorMsg& msg, uint8_t version) {
   std::vector<uint8_t> body;
   body.reserve(16 + msg.message.size());
   PutU64(msg.request_id, &body);
@@ -186,27 +183,66 @@ std::vector<uint8_t> EncodeError(const ErrorMsg& msg) {
   body.insert(body.end(), msg.message.begin(), msg.message.end());
   std::vector<uint8_t> frame;
   frame.reserve(kHeaderBytes + body.size());
-  AppendFrame(FrameType::kError, body, &frame);
+  AppendFrame(FrameType::kError, body, &frame, version);
   return frame;
 }
 
-std::vector<uint8_t> EncodePing(FrameType type, const PingMsg& msg) {
+std::vector<uint8_t> EncodePing(FrameType type, const PingMsg& msg,
+                                uint8_t version) {
   std::vector<uint8_t> body;
   PutU64(msg.token, &body);
   std::vector<uint8_t> frame;
   frame.reserve(kHeaderBytes + body.size());
   AppendFrame(type == FrameType::kPong ? FrameType::kPong : FrameType::kPing,
-              body, &frame);
+              body, &frame, version);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeModelsRequest(const ModelsRequestMsg& msg) {
+  std::vector<uint8_t> body;
+  PutU64(msg.token, &body);
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  AppendFrame(FrameType::kModelsRequest, body, &frame, kWireVersionMultiModel);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeModelsResponse(const ModelsResponseMsg& msg) {
+  std::vector<uint8_t> body;
+  PutU64(msg.token, &body);
+  PutU32(static_cast<uint32_t>(msg.models.size()), &body);
+  for (const ModelInfoMsg& m : msg.models) {
+    PutString16(m.id, &body);
+    body.push_back(m.state);
+    PutU32(m.checksum, &body);
+    PutU64(m.submitted, &body);
+    PutU64(m.completed_ok, &body);
+    PutU64(m.shed, &body);
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  AppendFrame(FrameType::kModelsResponse, body, &frame, kWireVersionMultiModel);
   return frame;
 }
 
 // ----------------------------------------------------------------- decode ----
 
-Result<PredictRequestMsg> DecodePredictRequest(std::span<const uint8_t> body) {
+Result<PredictRequestMsg> DecodePredictRequest(std::span<const uint8_t> body,
+                                               uint8_t version) {
   ByteReader reader(body);
   PredictRequestMsg msg;
   msg.request_id = reader.U64();
   const uint64_t timeout_ns = reader.U64();
+  if (version >= kWireVersionMultiModel) {
+    const uint16_t id_len = reader.U16();
+    if (!reader.ok()) return TruncatedBody("predict-request");
+    if (id_len > kMaxModelIdBytes) {
+      return Status::ParseError("wire: predict-request model id too long");
+    }
+    if (reader.remaining() < id_len) return TruncatedBody("predict-request");
+    const std::span<const uint8_t> id = reader.Bytes(id_len);
+    msg.model_id.assign(id.begin(), id.end());
+  }
   const uint32_t num_features = reader.U32();
   if (!reader.ok()) return TruncatedBody("predict-request");
   // num_features is attacker-controlled: check it against the bytes actually
@@ -279,6 +315,51 @@ Result<PingMsg> DecodePing(std::span<const uint8_t> body) {
   return msg;
 }
 
+Result<ModelsRequestMsg> DecodeModelsRequest(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  ModelsRequestMsg msg;
+  msg.token = reader.U64();
+  if (!reader.ok() || reader.remaining() != 0) {
+    return TruncatedBody("models-request");
+  }
+  return msg;
+}
+
+Result<ModelsResponseMsg> DecodeModelsResponse(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  ModelsResponseMsg msg;
+  msg.token = reader.U64();
+  const uint32_t num_models = reader.U32();
+  if (!reader.ok()) return TruncatedBody("models-response");
+  // Each model row is at least 33 bytes; bound the count by the bytes
+  // actually present before reserving anything.
+  if (size_t{num_models} * 33 > reader.remaining()) {
+    return Status::ParseError(
+        "wire: models-response model count does not fit body length");
+  }
+  msg.models.reserve(num_models);
+  for (uint32_t i = 0; i < num_models; ++i) {
+    ModelInfoMsg m;
+    const uint16_t id_len = reader.U16();
+    if (!reader.ok()) return TruncatedBody("models-response");
+    if (id_len > kMaxModelIdBytes) {
+      return Status::ParseError("wire: models-response model id too long");
+    }
+    if (reader.remaining() < id_len) return TruncatedBody("models-response");
+    const std::span<const uint8_t> id = reader.Bytes(id_len);
+    m.id.assign(id.begin(), id.end());
+    m.state = reader.U8();
+    m.checksum = reader.U32();
+    m.submitted = reader.U64();
+    m.completed_ok = reader.U64();
+    m.shed = reader.U64();
+    if (!reader.ok()) return TruncatedBody("models-response");
+    msg.models.push_back(std::move(m));
+  }
+  if (reader.remaining() != 0) return TruncatedBody("models-response");
+  return msg;
+}
+
 // ---------------------------------------------------------------- decoder ----
 
 void FrameDecoder::Feed(std::span<const uint8_t> bytes) {
@@ -309,11 +390,11 @@ Result<std::optional<Frame>> FrameDecoder::Next() {
   if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
     return poison(Status::ParseError("wire: bad frame magic"));
   }
-  if (header[4] != kWireVersion) {
+  if (!ValidWireVersion(header[4])) {
     return poison(Status::ParseError("wire: unsupported protocol version " +
                                      std::to_string(header[4])));
   }
-  if (!ValidFrameType(header[5])) {
+  if (!ValidFrameType(header[4], header[5])) {
     return poison(Status::ParseError("wire: unknown frame type " +
                                      std::to_string(header[5])));
   }
@@ -343,6 +424,7 @@ Result<std::optional<Frame>> FrameDecoder::Next() {
 
   Frame frame;
   frame.type = static_cast<FrameType>(header[5]);
+  frame.version = header[4];
   frame.body.assign(body.begin(), body.end());
   consumed_ += kHeaderBytes + body_len;
   return std::optional<Frame>(std::move(frame));

@@ -3,7 +3,7 @@
 // Every message on the wire is one frame:
 //
 //   offset 0   u8[4]  magic "TWMP"
-//   offset 4   u8     version (kWireVersion)
+//   offset 4   u8     version (kWireVersion or kWireVersionMultiModel)
 //   offset 5   u8     FrameType
 //   offset 6   u16le  reserved, must be zero
 //   offset 8   u32le  body length (<= max_body_bytes)
@@ -21,14 +21,28 @@
 // through a half-parsed request (tests/test_wire.cc fuzzes every prefix and
 // random byte flips of valid frames).
 //
+// Version negotiation is per frame and rides the existing version byte: a
+// decoder accepts v1 and v2 frames on the same connection and records which
+// one each frame used, so a v1-only client (no model-id field) keeps
+// working against a multi-model server byte-for-byte unchanged — the server
+// routes its requests to a configured default model. v2 adds a model-id
+// field to kPredictRequest and the kModelsRequest/kModelsResponse pair;
+// those two frame types are invalid in a v1 frame.
+//
 // Body layouts (all integers little-endian):
 //   kPredictRequest   u64 request_id, u64 timeout_ns (0 = no deadline),
+//                     [v2 only: u16 model_id length, model_id bytes,]
 //                     u32 num_features, f32[num_features] (IEEE-754 bits)
 //   kPredictResponse  u64 request_id, i32 label, u32 num_votes,
 //                     i8[num_votes]
 //   kError            u64 request_id (0 = connection-level), u32 StatusCode,
 //                     u32 message length, message bytes
 //   kPing / kPong     u64 token (pong echoes the ping's token)
+//   kModelsRequest    u64 token (v2 only)
+//   kModelsResponse   u64 token, u32 num_models, then per model:
+//                     u16 id length, id bytes, u8 lifecycle state,
+//                     u32 image checksum, u64 submitted, u64 completed_ok,
+//                     u64 shed (v2 only)
 
 #ifndef TREEWM_SERVE_WIRE_FRAME_H_
 #define TREEWM_SERVE_WIRE_FRAME_H_
@@ -46,11 +60,18 @@
 namespace treewm::serve::wire {
 
 inline constexpr uint8_t kMagic[4] = {'T', 'W', 'M', 'P'};
+/// v1: single-model protocol (PR 9). Still the default for clients that do
+/// not target a model by id.
 inline constexpr uint8_t kWireVersion = 1;
+/// v2: adds the model-id field to kPredictRequest and the models-listing
+/// frame pair. Anything above this is rejected as unsupported.
+inline constexpr uint8_t kWireVersionMultiModel = 2;
 inline constexpr size_t kHeaderBytes = 16;
 /// Default ceiling on a frame body. A predict request over the largest
 /// supported feature vector fits comfortably; anything bigger is hostile.
 inline constexpr size_t kDefaultMaxBodyBytes = size_t{1} << 20;
+/// Ceiling on a wire model id. Ids are routing keys, not payloads.
+inline constexpr size_t kMaxModelIdBytes = 256;
 
 enum class FrameType : uint8_t {
   kPredictRequest = 1,
@@ -58,20 +79,26 @@ enum class FrameType : uint8_t {
   kError = 3,
   kPing = 4,
   kPong = 5,
+  kModelsRequest = 6,   ///< v2 only
+  kModelsResponse = 7,  ///< v2 only
 };
 
-/// One decoded frame: type + raw body (typed decoders below parse it).
+/// One decoded frame: type + raw body (typed decoders below parse it) plus
+/// the protocol version its header carried, so the server can parse the
+/// body with the right layout and answer v1 clients in v1.
 struct Frame {
   FrameType type = FrameType::kError;
+  uint8_t version = kWireVersion;
   std::vector<uint8_t> body;
 };
 
 /// CRC-32 (IEEE 802.3, reflected) of `data`.
 uint32_t Crc32(std::span<const uint8_t> data);
 
-/// Appends one complete frame (header + body) to `out`.
+/// Appends one complete frame (header + body) to `out`, stamped with
+/// `version` (defaults to v1 so every pre-registry call site is unchanged).
 void AppendFrame(FrameType type, std::span<const uint8_t> body,
-                 std::vector<uint8_t>* out);
+                 std::vector<uint8_t>* out, uint8_t version = kWireVersion);
 
 // ---------------------------------------------------------------- bodies ----
 
@@ -81,6 +108,9 @@ struct PredictRequestMsg {
   /// into RequestOptions::timeout, so the admission/dispatch/completion
   /// deadline checks of the in-process front-end apply unchanged.
   std::chrono::nanoseconds timeout{0};
+  /// v2 only: registry routing key. Empty means "the server's default
+  /// model" (and is the only spelling a v1 frame can carry).
+  std::string model_id;
   std::vector<float> features;
 };
 
@@ -103,19 +133,53 @@ struct PingMsg {
   uint64_t token = 0;
 };
 
-std::vector<uint8_t> EncodePredictRequest(const PredictRequestMsg& msg);
-std::vector<uint8_t> EncodePredictResponse(const PredictResponseMsg& msg);
-std::vector<uint8_t> EncodeError(const ErrorMsg& msg);
-std::vector<uint8_t> EncodePing(FrameType type, const PingMsg& msg);
+/// One model row in a kModelsResponse frame. `state` is the registry's
+/// lifecycle byte (serve::ModelState); decode validates its range but the
+/// wire layer does not otherwise interpret it.
+struct ModelInfoMsg {
+  std::string id;
+  uint8_t state = 0;
+  uint32_t checksum = 0;
+  uint64_t submitted = 0;
+  uint64_t completed_ok = 0;
+  uint64_t shed = 0;
+};
+
+struct ModelsRequestMsg {
+  uint64_t token = 0;
+};
+
+struct ModelsResponseMsg {
+  uint64_t token = 0;
+  std::vector<ModelInfoMsg> models;
+};
+
+/// `version` selects the body layout; v1 never encodes the model-id field
+/// (callers must not set one — the client refuses before encoding).
+std::vector<uint8_t> EncodePredictRequest(const PredictRequestMsg& msg,
+                                          uint8_t version = kWireVersion);
+std::vector<uint8_t> EncodePredictResponse(const PredictResponseMsg& msg,
+                                           uint8_t version = kWireVersion);
+std::vector<uint8_t> EncodeError(const ErrorMsg& msg,
+                                 uint8_t version = kWireVersion);
+std::vector<uint8_t> EncodePing(FrameType type, const PingMsg& msg,
+                                uint8_t version = kWireVersion);
+std::vector<uint8_t> EncodeModelsRequest(const ModelsRequestMsg& msg);
+std::vector<uint8_t> EncodeModelsResponse(const ModelsResponseMsg& msg);
 
 /// Body decoders: fail closed with ParseError on truncation, trailing
 /// bytes, or out-of-range fields — never on the framing layer's say-so.
+/// DecodePredictRequest parses the layout of the frame's `version`.
 [[nodiscard]] Result<PredictRequestMsg> DecodePredictRequest(
-    std::span<const uint8_t> body);
+    std::span<const uint8_t> body, uint8_t version = kWireVersion);
 [[nodiscard]] Result<PredictResponseMsg> DecodePredictResponse(
     std::span<const uint8_t> body);
 [[nodiscard]] Result<ErrorMsg> DecodeError(std::span<const uint8_t> body);
 [[nodiscard]] Result<PingMsg> DecodePing(std::span<const uint8_t> body);
+[[nodiscard]] Result<ModelsRequestMsg> DecodeModelsRequest(
+    std::span<const uint8_t> body);
+[[nodiscard]] Result<ModelsResponseMsg> DecodeModelsResponse(
+    std::span<const uint8_t> body);
 
 // --------------------------------------------------------------- decoder ----
 

@@ -81,12 +81,20 @@ Result<Frame> SocketClient::RoundTrip(std::span<const uint8_t> frame) {
 
 Result<PredictResult> SocketClient::Predict(std::span<const float> features,
                                             std::chrono::nanoseconds timeout) {
+  if (options_.model_id.size() > kMaxModelIdBytes) {
+    // Refused before encoding: the wire caps model ids, and silently
+    // truncating one would address a different model.
+    return Status::InvalidArgument("wire: model id is too long");
+  }
   PredictRequestMsg request;
   request.request_id = next_request_id_++;
   request.timeout = timeout;
+  request.model_id = options_.model_id;
   request.features.assign(features.begin(), features.end());
+  const uint8_t version =
+      options_.model_id.empty() ? kWireVersion : kWireVersionMultiModel;
   TREEWM_ASSIGN_OR_RETURN(Frame reply,
-                          RoundTrip(EncodePredictRequest(request)));
+                          RoundTrip(EncodePredictRequest(request, version)));
   switch (reply.type) {
     case FrameType::kPredictResponse: {
       Result<PredictResponseMsg> msg = DecodePredictResponse(reply.body);
@@ -160,6 +168,43 @@ Status SocketClient::Ping() {
     return Status::ParseError("wire: pong echoed the wrong token");
   }
   return Status::OK();
+}
+
+Result<std::vector<ModelInfoMsg>> SocketClient::ListModels() {
+  ModelsRequestMsg request;
+  request.token = next_request_id_++;
+  TREEWM_ASSIGN_OR_RETURN(Frame reply, RoundTrip(EncodeModelsRequest(request)));
+  switch (reply.type) {
+    case FrameType::kModelsResponse: {
+      Result<ModelsResponseMsg> msg = DecodeModelsResponse(reply.body);
+      if (!msg.ok()) {
+        Close();
+        return msg.status();
+      }
+      if (msg.value().token != request.token) {
+        Close();
+        return Status::ParseError("wire: models response for a different token");
+      }
+      return std::move(msg.value().models);
+    }
+    case FrameType::kError: {
+      Result<ErrorMsg> msg = DecodeError(reply.body);
+      if (!msg.ok()) {
+        Close();
+        return msg.status();
+      }
+      if (msg.value().request_id != 0 &&
+          msg.value().request_id != request.token) {
+        Close();
+        return Status::ParseError("wire: error for a different request id");
+      }
+      if (msg.value().request_id == 0) Close();
+      return msg.value().ToStatus();
+    }
+    default:
+      Close();
+      return Status::ParseError("wire: unexpected frame type in response");
+  }
 }
 
 }  // namespace treewm::serve::wire

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
@@ -40,6 +41,10 @@ struct SocketClientOptions {
   size_t max_body_bytes = kDefaultMaxBodyBytes;
   /// Time source for retry backoff (nullptr = system clock).
   Clock* clock = nullptr;
+  /// Model to address predict requests to. Empty = speak protocol v1 (the
+  /// server routes to its default model); non-empty = v2 frames carrying
+  /// this id. ListModels() always speaks v2 regardless.
+  std::string model_id;
 };
 
 /// True for failures PredictWithRetry resends: overload pushback or a
@@ -81,6 +86,11 @@ class SocketClient {
 
   /// Liveness round-trip: sends a ping, expects the token echoed back.
   [[nodiscard]] Status Ping();
+
+  /// Lists the server's models (always a v2 round-trip). A single-model
+  /// server answers FailedPrecondition; rows come back in the server's
+  /// deterministic (id-sorted) order.
+  [[nodiscard]] Result<std::vector<ModelInfoMsg>> ListModels();
 
   /// Round-trips completed on the current connection (diagnostics).
   uint64_t round_trips() const { return round_trips_; }

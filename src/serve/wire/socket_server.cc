@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "serve/registry/model_registry.h"
 
 namespace treewm::serve::wire {
 namespace {
@@ -34,6 +35,27 @@ Result<std::unique_ptr<SocketServer>> SocketServer::Create(
   if (front_end == nullptr) {
     return Status::InvalidArgument("socket server needs a serving front-end");
   }
+  return CreateImpl(front_end, nullptr, std::move(options));
+}
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Create(
+    ModelRegistry* registry, SocketServerOptions options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("socket server needs a model registry");
+  }
+  if (options.default_model.empty()) {
+    return Status::InvalidArgument(
+        "registry mode needs a default model for v1 clients");
+  }
+  if (options.default_model.size() > kMaxModelIdBytes) {
+    return Status::InvalidArgument("default model id is too long for the wire");
+  }
+  return CreateImpl(nullptr, registry, std::move(options));
+}
+
+Result<std::unique_ptr<SocketServer>> SocketServer::CreateImpl(
+    ServingFrontEnd* front_end, ModelRegistry* registry,
+    SocketServerOptions options) {
   if (options.max_connections == 0) {
     return Status::InvalidArgument("max_connections must be >= 1");
   }
@@ -49,15 +71,16 @@ Result<std::unique_ptr<SocketServer>> SocketServer::Create(
   TREEWM_ASSIGN_OR_RETURN(const uint16_t port, LocalPort(listener));
   TREEWM_ASSIGN_OR_RETURN(auto pipe_ends, MakeWakePipe());
   auto server = std::unique_ptr<SocketServer>(new SocketServer(
-      front_end, options, std::move(listener), std::move(pipe_ends.first),
-      std::move(pipe_ends.second), port));
+      front_end, registry, options, std::move(listener),
+      std::move(pipe_ends.first), std::move(pipe_ends.second), port));
   return server;
 }
 
-SocketServer::SocketServer(ServingFrontEnd* front_end,
+SocketServer::SocketServer(ServingFrontEnd* front_end, ModelRegistry* registry,
                            SocketServerOptions options, Fd listener,
                            Fd wake_read, Fd wake_write, uint16_t port)
     : front_end_(front_end),
+      registry_(registry),
       options_(options),
       clock_(options.clock),
       port_(port),
@@ -100,6 +123,7 @@ WireStats SocketServer::stats() const {
   s.frames_received = frames_received_.load(std::memory_order_relaxed);
   s.pings = pings_.load(std::memory_order_relaxed);
   s.requests_received = requests_received_.load(std::memory_order_relaxed);
+  s.models_requests = models_requests_.load(std::memory_order_relaxed);
   s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
   s.refusals_sent = refusals_sent_.load(std::memory_order_relaxed);
   s.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
@@ -108,13 +132,49 @@ WireStats SocketServer::stats() const {
 }
 
 void SocketServer::SendErrorFrame(Connection* conn, uint64_t request_id,
-                                  const Status& status) {
+                                  const Status& status, uint8_t version) {
   ErrorMsg msg;
   msg.request_id = request_id;
   msg.code = status.code();
   msg.message = status.message();
-  const std::vector<uint8_t> frame = EncodeError(msg);
+  const std::vector<uint8_t> frame = EncodeError(msg, version);
   conn->QueueWrite(frame);
+}
+
+void SocketServer::HandleModelsRequest(Connection* conn, const Frame& frame) {
+  Result<ModelsRequestMsg> request = DecodeModelsRequest(frame.body);
+  if (!request.ok()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn, 0, request.status(), frame.version);
+    conn->closing = true;
+    return;
+  }
+  models_requests_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t token = request.value().token;
+  if (registry_ == nullptr) {
+    // Single-model server: a typed refusal (echoing the token as the
+    // request id), connection kept — the client asked a fair question.
+    refusals_sent_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn, token,
+                   Status::FailedPrecondition(
+                       "server has no model registry (single-model mode)"),
+                   frame.version);
+    return;
+  }
+  ModelsResponseMsg response;
+  response.token = token;
+  for (const ModelEntryInfo& entry : registry_->List()) {
+    ModelInfoMsg info;
+    info.id = entry.id;
+    info.state = static_cast<uint8_t>(entry.state);
+    info.checksum = entry.checksum;
+    info.submitted = entry.serving.submitted;
+    info.completed_ok = entry.serving.completed_ok;
+    info.shed = entry.serving.rejected_full + entry.serving.rejected_shed;
+    response.models.push_back(std::move(info));
+  }
+  conn->QueueWrite(EncodeModelsResponse(response));
+  responses_sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SocketServer::EraseConnection(uint64_t id) {
@@ -132,21 +192,22 @@ void SocketServer::HandleFrame(Connection* conn, Frame frame) {
       Result<PingMsg> ping = DecodePing(frame.body);
       if (!ping.ok()) {
         parse_errors_.fetch_add(1, std::memory_order_relaxed);
-        SendErrorFrame(conn, 0, ping.status());
+        SendErrorFrame(conn, 0, ping.status(), frame.version);
         conn->closing = true;
         return;
       }
       pings_.fetch_add(1, std::memory_order_relaxed);
       const std::vector<uint8_t> pong =
-          EncodePing(FrameType::kPong, ping.value());
+          EncodePing(FrameType::kPong, ping.value(), frame.version);
       conn->QueueWrite(pong);
       return;
     }
     case FrameType::kPredictRequest: {
-      Result<PredictRequestMsg> request = DecodePredictRequest(frame.body);
+      Result<PredictRequestMsg> request =
+          DecodePredictRequest(frame.body, frame.version);
       if (!request.ok()) {
         parse_errors_.fetch_add(1, std::memory_order_relaxed);
-        SendErrorFrame(conn, 0, request.status());
+        SendErrorFrame(conn, 0, request.status(), frame.version);
         conn->closing = true;
         return;
       }
@@ -155,7 +216,8 @@ void SocketServer::HandleFrame(Connection* conn, Frame frame) {
       if (drain_requested_.load(std::memory_order_acquire)) {
         refusals_sent_.fetch_add(1, std::memory_order_relaxed);
         SendErrorFrame(conn, request_id,
-                       Status::FailedPrecondition("server is draining"));
+                       Status::FailedPrecondition("server is draining"),
+                       frame.version);
         return;
       }
       if (conn->in_flight >= options_.max_in_flight_per_connection) {
@@ -164,34 +226,67 @@ void SocketServer::HandleFrame(Connection* conn, Frame frame) {
                            "wire: per-connection in-flight cap hit");
         SendErrorFrame(conn, request_id,
                        Status::ResourceExhausted(
-                           "per-connection in-flight cap reached"));
+                           "per-connection in-flight cap reached"),
+                       frame.version);
         return;
       }
       RequestOptions req_options;
       req_options.timeout = request.value().timeout;
-      std::future<Result<PredictResult>> future = front_end_->SubmitPredict(
-          request.value().features, req_options);
+      std::future<Result<PredictResult>> future;
+      if (registry_ != nullptr) {
+        // Registry routing: empty id (every v1 frame, and v2 frames that
+        // leave it blank) lands on the default model; an unknown id comes
+        // back as an immediate NotFound future → typed error frame below,
+        // connection kept.
+        const std::string& model = request.value().model_id.empty()
+                                       ? options_.default_model
+                                       : request.value().model_id;
+        future = registry_->SubmitPredict(model, request.value().features,
+                                          req_options);
+      } else if (!request.value().model_id.empty()) {
+        // A v2 client naming a model at a single-model server: nothing it
+        // could name exists here, so refuse typed rather than silently
+        // serving a different model than it asked for.
+        refusals_sent_.fetch_add(1, std::memory_order_relaxed);
+        SendErrorFrame(conn, request_id,
+                       Status::NotFound(
+                           "server is single-model; no model registry"),
+                       frame.version);
+        return;
+      } else {
+        future = front_end_->SubmitPredict(request.value().features,
+                                           req_options);
+      }
       conn->in_flight += 1;
       {
         MutexLock lock(&pending_mutex_);
         PendingResponse pending;
         pending.conn_id = conn->id();
         pending.request_id = request_id;
+        pending.version = frame.version;
         pending.future = std::move(future);
         pending_.push_back(std::move(pending));
       }
       pending_ready_.NotifyOne();
       return;
     }
+    case FrameType::kModelsRequest: {
+      // The decoder only admits type 6 on v2 frames (ValidFrameType), so
+      // a v1 client can never reach this path.
+      HandleModelsRequest(conn, frame);
+      return;
+    }
     case FrameType::kPredictResponse:
     case FrameType::kPong:
-    case FrameType::kError: {
+    case FrameType::kError:
+    case FrameType::kModelsResponse: {
       // Server-to-client message types arriving AT the server: protocol
       // violation; fail the connection closed.
       parse_errors_.fetch_add(1, std::memory_order_relaxed);
       SendErrorFrame(
           conn, 0,
-          Status::ParseError("wire: client sent a server-only frame type"));
+          Status::ParseError("wire: client sent a server-only frame type"),
+          frame.version);
       conn->closing = true;
       return;
     }
@@ -217,11 +312,12 @@ void SocketServer::ApplyCompletions() {
       msg.request_id = completion.request_id;
       msg.label = completion.result.value().label;
       msg.votes = std::move(completion.result.value().votes);
-      conn->QueueWrite(EncodePredictResponse(msg));
+      conn->QueueWrite(EncodePredictResponse(msg, completion.version));
       responses_sent_.fetch_add(1, std::memory_order_relaxed);
     } else {
       refusals_sent_.fetch_add(1, std::memory_order_relaxed);
-      SendErrorFrame(conn, completion.request_id, completion.result.status());
+      SendErrorFrame(conn, completion.request_id, completion.result.status(),
+                     completion.version);
     }
   }
 }
@@ -442,7 +538,7 @@ void SocketServer::CollectorLoop() {
       responses_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    CompletedResponse completion{item.conn_id, item.request_id,
+    CompletedResponse completion{item.conn_id, item.request_id, item.version,
                                  item.future.get()};
     {
       MutexLock lock(&completed_mutex_);

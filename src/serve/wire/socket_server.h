@@ -9,6 +9,21 @@
 // request frame's timeout field, so the admission/dispatch/completion
 // checks apply to wire traffic exactly as to in-process callers.
 //
+// Two serving modes, chosen at Create():
+//   * single-model — requests go straight to one borrowed ServingFrontEnd
+//     (the PR-9 shape, unchanged);
+//   * registry — requests are routed by the v2 frame's model-id field into
+//     a borrowed ModelRegistry. A v1 frame (or a v2 frame with an empty
+//     model id) lands on options.default_model, so v1 clients keep working
+//     against a multi-model server byte-for-byte; an unknown model id earns
+//     a typed NotFound error frame and the connection is KEPT — picking a
+//     missing model is the client's mistake, not a framing failure. The v2
+//     kModelsRequest frame answers a kModelsResponse listing every model
+//     (id, lifecycle state, image checksum, shed counters); on a
+//     single-model server it earns a FailedPrecondition error frame.
+// Response and error frames are stamped with the version of the request
+// frame they answer, so a v1 client never sees a v2 frame.
+//
 // Robustness envelope at the wire:
 //   * keep-alive connections with an idle timeout (a silent client cannot
 //     hold a slot forever);
@@ -47,6 +62,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "common/annotations.h"
@@ -58,6 +74,10 @@
 #include "serve/wire/connection.h"
 #include "serve/wire/frame.h"
 #include "serve/wire/sockets.h"
+
+namespace treewm::serve {
+class ModelRegistry;
+}  // namespace treewm::serve
 
 namespace treewm::serve::wire {
 
@@ -81,6 +101,10 @@ struct SocketServerOptions {
   std::chrono::nanoseconds drain_deadline = std::chrono::seconds(5);
   /// Frame-body ceiling handed to each connection's decoder.
   size_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// Registry mode only: the model v1 frames (and v2 frames with an empty
+  /// model id) are routed to. Must name a loaded model for such requests to
+  /// complete — an unknown id is refused NotFound per request.
+  std::string default_model;
   /// Time source for idle/drain arithmetic (nullptr = system clock). Real
   /// sockets need real time; FakeClock only suits unit tests that never
   /// poll.
@@ -88,7 +112,8 @@ struct SocketServerOptions {
 };
 
 /// Counter snapshot. After Shutdown() the wire accounting closes:
-/// requests_received == responses_sent + refusals_sent + responses_dropped.
+/// requests_received + models_requests ==
+///     responses_sent + refusals_sent + responses_dropped.
 struct WireStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_shed = 0;     ///< over max_connections
@@ -101,6 +126,7 @@ struct WireStats {
   uint64_t frames_received = 0;
   uint64_t pings = 0;
   uint64_t requests_received = 0;    ///< well-formed predict requests
+  uint64_t models_requests = 0;      ///< well-formed models-list requests
   uint64_t responses_sent = 0;       ///< predict responses queued to a socket
   uint64_t refusals_sent = 0;        ///< typed error frames for a request id
   uint64_t responses_dropped = 0;    ///< answers whose connection was gone
@@ -115,6 +141,13 @@ class SocketServer {
   /// the event loop — the wire's backpressure is the typed refusal).
   [[nodiscard]] static Result<std::unique_ptr<SocketServer>> Create(
       ServingFrontEnd* front_end, SocketServerOptions options);
+
+  /// Registry mode: routes by the v2 model-id field (see file comment).
+  /// `registry` is borrowed and must outlive the server;
+  /// options.default_model must be non-empty — it is where every v1 frame
+  /// lands.
+  [[nodiscard]] static Result<std::unique_ptr<SocketServer>> Create(
+      ModelRegistry* registry, SocketServerOptions options);
 
   /// Shuts down (drains) if the caller has not already.
   ~SocketServer();
@@ -135,17 +168,25 @@ class SocketServer {
   WireStats stats() const;
 
  private:
-  SocketServer(ServingFrontEnd* front_end, SocketServerOptions options,
-               Fd listener, Fd wake_read, Fd wake_write, uint16_t port);
+  SocketServer(ServingFrontEnd* front_end, ModelRegistry* registry,
+               SocketServerOptions options, Fd listener, Fd wake_read,
+               Fd wake_write, uint16_t port);
+
+  /// Shared tail of both Create overloads (option validation, bind, spawn).
+  [[nodiscard]] static Result<std::unique_ptr<SocketServer>> CreateImpl(
+      ServingFrontEnd* front_end, ModelRegistry* registry,
+      SocketServerOptions options);
 
   struct PendingResponse {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
+    uint8_t version = kWireVersion;  ///< answer stamped like the request
     std::future<Result<PredictResult>> future;
   };
   struct CompletedResponse {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
+    uint8_t version = kWireVersion;
     Result<PredictResult> result;
   };
 
@@ -158,10 +199,14 @@ class SocketServer {
   void HandleFrame(Connection* conn, Frame frame)
       TREEWM_EXCLUDES(pending_mutex_);
   void ApplyCompletions() TREEWM_EXCLUDES(completed_mutex_);
-  void SendErrorFrame(Connection* conn, uint64_t request_id, const Status& status);
+  void SendErrorFrame(Connection* conn, uint64_t request_id,
+                      const Status& status, uint8_t version = kWireVersion);
+  void HandleModelsRequest(Connection* conn, const Frame& frame);
   void EraseConnection(uint64_t id);
 
+  /// Exactly one of front_end_/registry_ is set (the other is nullptr).
   ServingFrontEnd* front_end_;
+  ModelRegistry* registry_;
   SocketServerOptions options_;
   Clock* clock_;
   uint16_t port_;
@@ -203,6 +248,7 @@ class SocketServer {
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> pings_{0};
   std::atomic<uint64_t> requests_received_{0};
+  std::atomic<uint64_t> models_requests_{0};
   std::atomic<uint64_t> responses_sent_{0};
   std::atomic<uint64_t> refusals_sent_{0};
   std::atomic<uint64_t> responses_dropped_{0};

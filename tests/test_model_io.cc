@@ -123,6 +123,29 @@ TEST(BundleIoTest, TruncatedFileFailsClosedAtEveryPrefix) {
   std::remove(path.c_str());
 }
 
+// The registry cold-starts models from forest JSON when no snapshot
+// exists; a forest file cut off at any point must stay a typed ParseError
+// — the snapshot tests (test_snapshot.cc) hold the binary path to the same
+// bar at every single byte.
+TEST(ForestIoTest, TruncatedFileFailsClosedAtEveryPrefix) {
+  auto forest = TrainSmall(40);
+  const std::string path = ::testing::TempDir() + "/treewm_forest_trunc.json";
+  ASSERT_TRUE(SaveForest(forest, path).ok());
+  auto read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  const std::string full = read_back.value();
+  for (size_t len = 0; len < full.size(); len += 41) {
+    ASSERT_TRUE(WriteStringToFile(path, std::string_view(full).substr(0, len)).ok());
+    auto loaded = LoadForest(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  }
+  ASSERT_TRUE(
+      WriteStringToFile(path, std::string_view(full).substr(0, full.size() - 1)).ok());
+  EXPECT_FALSE(LoadForest(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(ForestIoTest, WrongFieldTypesFailClosed) {
   // Version as a string, not a number.
   auto parsed = JsonValue::Parse(R"({"format_version": "1", "forest": {}})");

@@ -19,7 +19,9 @@
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "forest/random_forest.h"
+#include "io/ensemble_snapshot.h"
 #include "predict/flat_ensemble.h"
+#include "serve/registry/model_registry.h"
 #include "serve/retry.h"
 #include "serve/wire/frame.h"
 #include "serve/wire/socket_client.h"
@@ -424,9 +426,10 @@ class WireLoopbackTest : public ::testing::Test {
     if (server_ != nullptr) server_->Shutdown();
     if (front_end_ != nullptr) front_end_->Shutdown();
     if (server_ != nullptr) {
-      // Exactly-once accounting must close after drain.
+      // Exactly-once accounting must close after drain (models-list
+      // requests are answered through the same books).
       const WireStats stats = server_->stats();
-      EXPECT_EQ(stats.requests_received,
+      EXPECT_EQ(stats.requests_received + stats.models_requests,
                 stats.responses_sent + stats.refusals_sent +
                     stats.responses_dropped);
       EXPECT_EQ(stats.active_connections, 0u);
@@ -692,6 +695,352 @@ TEST_F(WireLoopbackTest, DrainDeadlineAbandonsWedgedFrontEndExactlyOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// Wire protocol v2: model-id routing and the models listing
+
+/// Re-stamps the header CRC (over bytes [4, 12) + body) after a test
+/// mutated a header field, so the mutation reaches the field's own check
+/// instead of dying at the checksum.
+void RestampFrameCrc(std::vector<uint8_t>* frame) {
+  std::vector<uint8_t> covered((*frame).begin() + 4, (*frame).begin() + 12);
+  covered.insert(covered.end(), (*frame).begin() + kHeaderBytes, (*frame).end());
+  const uint32_t crc = Crc32(covered);
+  (*frame)[12] = static_cast<uint8_t>(crc & 0xFF);
+  (*frame)[13] = static_cast<uint8_t>((crc >> 8) & 0xFF);
+  (*frame)[14] = static_cast<uint8_t>((crc >> 16) & 0xFF);
+  (*frame)[15] = static_cast<uint8_t>((crc >> 24) & 0xFF);
+}
+
+TEST(FrameV2Test, PredictRequestRoundTripCarriesModelId) {
+  PredictRequestMsg msg = SampleRequest();
+  msg.model_id = "fraud-v7";
+  const std::vector<uint8_t> wire =
+      EncodePredictRequest(msg, kWireVersionMultiModel);
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok() && frame.value().has_value());
+  EXPECT_EQ(frame.value()->type, FrameType::kPredictRequest);
+  EXPECT_EQ(frame.value()->version, kWireVersionMultiModel);
+
+  auto decoded = DecodePredictRequest(frame.value()->body, frame.value()->version);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().request_id, msg.request_id);
+  EXPECT_EQ(decoded.value().timeout, msg.timeout);
+  EXPECT_EQ(decoded.value().model_id, "fraud-v7");
+  EXPECT_EQ(decoded.value().features, msg.features);
+}
+
+TEST(FrameV2Test, ModelsRequestAndResponseRoundTrip) {
+  ModelsRequestMsg request;
+  request.token = 0xFEEDULL;
+  ModelsResponseMsg response;
+  response.token = 0xFEEDULL;
+  ModelInfoMsg a;
+  a.id = "alpha";
+  a.state = 2;  // SERVING
+  a.checksum = 0xABCD1234u;
+  a.submitted = 100;
+  a.completed_ok = 97;
+  a.shed = 3;
+  ModelInfoMsg b;
+  b.id = "beta";
+  b.state = 5;  // FAILED
+  response.models = {a, b};
+
+  FrameDecoder decoder;
+  decoder.Feed(EncodeModelsRequest(request));
+  decoder.Feed(EncodeModelsResponse(response));
+
+  auto f1 = decoder.Next();
+  ASSERT_TRUE(f1.ok() && f1.value().has_value());
+  EXPECT_EQ(f1.value()->type, FrameType::kModelsRequest);
+  EXPECT_EQ(f1.value()->version, kWireVersionMultiModel);
+  auto req = DecodeModelsRequest(f1.value()->body);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().token, request.token);
+
+  auto f2 = decoder.Next();
+  ASSERT_TRUE(f2.ok() && f2.value().has_value());
+  EXPECT_EQ(f2.value()->type, FrameType::kModelsResponse);
+  auto rsp = DecodeModelsResponse(f2.value()->body);
+  ASSERT_TRUE(rsp.ok()) << rsp.status().ToString();
+  EXPECT_EQ(rsp.value().token, response.token);
+  ASSERT_EQ(rsp.value().models.size(), 2u);
+  EXPECT_EQ(rsp.value().models[0].id, "alpha");
+  EXPECT_EQ(rsp.value().models[0].state, 2);
+  EXPECT_EQ(rsp.value().models[0].checksum, 0xABCD1234u);
+  EXPECT_EQ(rsp.value().models[0].submitted, 100u);
+  EXPECT_EQ(rsp.value().models[0].completed_ok, 97u);
+  EXPECT_EQ(rsp.value().models[0].shed, 3u);
+  EXPECT_EQ(rsp.value().models[1].id, "beta");
+  EXPECT_EQ(rsp.value().models[1].state, 5);
+}
+
+TEST(FrameV2Test, EveryPrefixOfV2BodiesFailsClosed) {
+  PredictRequestMsg request = SampleRequest();
+  request.model_id = "alpha";
+  ModelsResponseMsg response;
+  response.token = 9;
+  ModelInfoMsg row;
+  row.id = "alpha";
+  row.state = 2;
+  response.models = {row};
+
+  const auto body_of = [](std::vector<uint8_t> frame) {
+    return std::vector<uint8_t>(frame.begin() + kHeaderBytes, frame.end());
+  };
+  const std::vector<uint8_t> request_body =
+      body_of(EncodePredictRequest(request, kWireVersionMultiModel));
+  for (size_t len = 0; len < request_body.size(); ++len) {
+    const std::span<const uint8_t> prefix(request_body.data(), len);
+    EXPECT_EQ(DecodePredictRequest(prefix, kWireVersionMultiModel).status().code(),
+              StatusCode::kParseError)
+        << "v2 request prefix " << len;
+  }
+  const std::vector<uint8_t> response_body =
+      body_of(EncodeModelsResponse(response));
+  for (size_t len = 0; len < response_body.size(); ++len) {
+    const std::span<const uint8_t> prefix(response_body.data(), len);
+    EXPECT_EQ(DecodeModelsResponse(prefix).status().code(),
+              StatusCode::kParseError)
+        << "models response prefix " << len;
+  }
+  // Version mismatch is not a free pass either: a v2 body read with the v1
+  // layout lands the feature count on the model-id bytes and fails closed.
+  EXPECT_EQ(DecodePredictRequest(request_body, kWireVersion).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(FrameV2Test, OversizeModelIdLengthFailsClosed) {
+  PredictRequestMsg msg = SampleRequest();
+  msg.model_id = "ok";
+  std::vector<uint8_t> frame = EncodePredictRequest(msg, kWireVersionMultiModel);
+  std::vector<uint8_t> body(frame.begin() + kHeaderBytes, frame.end());
+  // u16 model-id length lives at body offset 16 (after request_id+timeout);
+  // claim 0xFFFF — far past both the bytes present and kMaxModelIdBytes.
+  body[16] = 0xFF;
+  body[17] = 0xFF;
+  EXPECT_EQ(DecodePredictRequest(body, kWireVersionMultiModel).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(FrameV2Test, UnsupportedVersionByteFailsClosed) {
+  std::vector<uint8_t> frame = EncodePredictRequest(SampleRequest());
+  frame[4] = 3;  // one past kWireVersionMultiModel
+  RestampFrameCrc(&frame);
+  FrameDecoder decoder;
+  decoder.Feed(frame);
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameV2Test, ModelsFrameTypeInAV1FrameFailsClosed) {
+  // kModelsRequest is a v2-only frame type; a v1 header carrying it is a
+  // protocol violation, not a negotiation.
+  std::vector<uint8_t> body(8, 0);
+  body[0] = 9;  // token
+  std::vector<uint8_t> frame;
+  AppendFrame(FrameType::kModelsRequest, body, &frame, kWireVersion);
+  FrameDecoder decoder;
+  decoder.Feed(frame);
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Registry-mode loopback: version negotiation against a live ModelRegistry
+
+class WireRegistryLoopbackTest : public ::testing::Test {
+ protected:
+  void StartRegistryServer() {
+    ModelRegistryOptions registry_options;
+    registry_options.serving.queue.capacity = 256;
+    registry_options.serving.queue.shed_high_water = 224;
+    registry_options.serving.batch.max_batch_rows = 16;
+    registry_options.serving.batch.max_batch_delay = microseconds(100);
+    auto registry = ModelRegistry::Create(registry_options);
+    ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+    registry_ = std::move(registry).MoveValue();
+
+    alpha_ = FlatOf(TrainForest(21));
+    beta_ = FlatOf(TrainForest(22, /*num_trees=*/7));
+    ASSERT_TRUE(registry_->Load("alpha", alpha_).ok());
+    ASSERT_TRUE(registry_->Load("beta", beta_).ok());
+
+    SocketServerOptions server_options;
+    server_options.default_model = "alpha";
+    auto server = SocketServer::Create(registry_.get(), server_options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).MoveValue();
+  }
+
+  SocketClient MakeClient(std::string model_id = "") {
+    SocketClientOptions options;
+    options.port = server_->port();
+    options.recv_timeout = std::chrono::seconds(5);
+    options.model_id = std::move(model_id);
+    return SocketClient(options);
+  }
+
+  std::vector<float> Probe(uint64_t salt) const {
+    std::vector<float> x(6);  // TrainForest default feature count
+    Rng rng(salt);
+    for (auto& v : x) {
+      v = static_cast<float>(rng.UniformRealRange(-2.0, 2.0));
+    }
+    return x;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (registry_ != nullptr) registry_->Shutdown();
+    if (server_ != nullptr) {
+      const WireStats stats = server_->stats();
+      EXPECT_EQ(stats.requests_received + stats.models_requests,
+                stats.responses_sent + stats.refusals_sent +
+                    stats.responses_dropped);
+      EXPECT_EQ(stats.active_connections, 0u);
+    }
+  }
+
+  std::shared_ptr<const predict::FlatEnsemble> alpha_;
+  std::shared_ptr<const predict::FlatEnsemble> beta_;
+  std::unique_ptr<ModelRegistry> registry_;
+  std::unique_ptr<SocketServer> server_;
+};
+
+TEST_F(WireRegistryLoopbackTest, V1ClientLandsOnDefaultModelBitIdentical) {
+  StartRegistryServer();
+  SocketClient client = MakeClient();  // empty model id = protocol v1
+  for (uint64_t i = 0; i < 12; ++i) {
+    const std::vector<float> x = Probe(i);
+    auto wire_result = client.Predict(x);
+    ASSERT_TRUE(wire_result.ok()) << wire_result.status().ToString();
+    auto local = registry_->Predict("alpha", x);
+    ASSERT_TRUE(local.ok());
+    EXPECT_EQ(wire_result.value().label, local.value().label);
+    EXPECT_EQ(wire_result.value().votes, local.value().votes);
+  }
+  EXPECT_EQ(server_->stats().requests_received, 12u);
+}
+
+TEST_F(WireRegistryLoopbackTest, V2ClientTargetsNamedModelBitIdentical) {
+  StartRegistryServer();
+  SocketClient client = MakeClient("beta");
+  for (uint64_t i = 0; i < 12; ++i) {
+    const std::vector<float> x = Probe(100 + i);
+    auto wire_result = client.Predict(x);
+    ASSERT_TRUE(wire_result.ok()) << wire_result.status().ToString();
+    auto local = registry_->Predict("beta", x);
+    ASSERT_TRUE(local.ok());
+    EXPECT_EQ(wire_result.value().label, local.value().label);
+    EXPECT_EQ(wire_result.value().votes, local.value().votes);
+  }
+}
+
+TEST_F(WireRegistryLoopbackTest, ResponsesEchoTheRequestFrameVersion) {
+  StartRegistryServer();
+  auto raw = ConnectTcpLoopback(server_->port(), std::chrono::seconds(5));
+  ASSERT_TRUE(raw.ok());
+  FrameDecoder decoder;
+
+  PredictRequestMsg v1 = SampleRequest(1);
+  RawWriteAll(raw.value(), EncodePredictRequest(v1, kWireVersion));
+  std::optional<Frame> reply = RawReadFrame(raw.value(), &decoder);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kPredictResponse);
+  EXPECT_EQ(reply->version, kWireVersion);  // v1 in, v1 out
+
+  PredictRequestMsg v2 = SampleRequest(2);
+  v2.model_id = "beta";
+  RawWriteAll(raw.value(), EncodePredictRequest(v2, kWireVersionMultiModel));
+  reply = RawReadFrame(raw.value(), &decoder);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kPredictResponse);
+  EXPECT_EQ(reply->version, kWireVersionMultiModel);
+}
+
+TEST_F(WireRegistryLoopbackTest, UnknownModelIsTypedNotFoundConnectionKept) {
+  StartRegistryServer();
+  SocketClient client = MakeClient("ghost");
+  auto refused = client.Predict(Probe(1));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kNotFound);
+  // Addressing a missing model is a per-request mistake: the connection
+  // survives and keeps answering.
+  EXPECT_TRUE(client.Ping().ok());
+  auto again = client.Predict(Probe(2));
+  EXPECT_EQ(again.status().code(), StatusCode::kNotFound);
+  const WireStats stats = server_->stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.refusals_sent, 2u);
+}
+
+TEST_F(WireRegistryLoopbackTest, ListModelsReturnsSortedLiveRows) {
+  StartRegistryServer();
+  ASSERT_TRUE(registry_->Predict("alpha", Probe(3)).ok());
+  SocketClient client = MakeClient();
+  auto models = client.ListModels();
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  ASSERT_EQ(models.value().size(), 2u);
+  EXPECT_EQ(models.value()[0].id, "alpha");
+  EXPECT_EQ(models.value()[1].id, "beta");
+  for (const ModelInfoMsg& row : models.value()) {
+    EXPECT_EQ(row.state, static_cast<uint8_t>(ModelState::kServing));
+  }
+  EXPECT_EQ(models.value()[0].checksum, io::EnsembleChecksum(*alpha_));
+  EXPECT_EQ(models.value()[1].checksum, io::EnsembleChecksum(*beta_));
+  EXPECT_GE(models.value()[0].submitted, 1u);
+  EXPECT_EQ(server_->stats().models_requests, 1u);
+}
+
+TEST_F(WireRegistryLoopbackTest, RegistryServerRequiresADefaultModel) {
+  ModelRegistryOptions registry_options;
+  auto registry = ModelRegistry::Create(registry_options);
+  ASSERT_TRUE(registry.ok());
+  // No default_model: every v1 frame would be unroutable, so Create refuses
+  // up front instead of failing per request.
+  auto server = SocketServer::Create(registry.value().get(), {});
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WireRegistryLoopbackTest, ClientRefusesOversizeModelIdBeforeDialing) {
+  StartRegistryServer();
+  SocketClient client = MakeClient(std::string(300, 'm'));
+  auto refused = client.Predict(Probe(4));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(client.connected());  // refused before any bytes moved
+}
+
+TEST_F(WireLoopbackTest, SingleModelServerRefusesV2AddressingTyped) {
+  StartServer();
+  // A model id on a single-model server is NEVER silently served by the
+  // one model that happens to be loaded — that could be a different model
+  // than the client named.
+  SocketClientOptions options;
+  options.port = server_->port();
+  options.model_id = "alpha";
+  SocketClient addressed(options);
+  auto refused = addressed.Predict(Probe(7));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(addressed.Ping().ok());  // connection kept
+
+  SocketClient plain = MakeClient();
+  auto models = plain.ListModels();
+  ASSERT_FALSE(models.ok());
+  EXPECT_EQ(models.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(plain.Predict(Probe(8)).ok());  // connection kept here too
+  EXPECT_EQ(server_->stats().models_requests, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Acceptance matrix: determinism across connections × fault schedules
 
 struct FaultSchedule {
@@ -796,7 +1145,7 @@ TEST(WireDeterminismMatrixTest, CompletedResponsesBitIdenticalUnderFaults) {
         EXPECT_EQ(completed.load(), num_connections * kProbes);
       }
       // Exactly-once accounting closes in every cell.
-      EXPECT_EQ(stats.requests_received,
+      EXPECT_EQ(stats.requests_received + stats.models_requests,
                 stats.responses_sent + stats.refusals_sent +
                     stats.responses_dropped);
       EXPECT_EQ(stats.active_connections, 0u);

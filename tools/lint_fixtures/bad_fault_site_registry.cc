@@ -1,0 +1,26 @@
+// Fixture: fault-site discipline at the registry layer. The
+// serve.registry.* sites are catalogued in src/serve/README.md with exactly
+// one code site each; a fixture reusing one must trip the duplicate check,
+// and a registry-flavored name missing from the catalog must trip the
+// catalog check. NEVER compiled.
+
+#include "common/fault_injection.h"
+
+namespace fixture {
+
+inline bool FirstRegistrySite() {
+  // "serve.registry.load.fail" is catalogued, so the first code site is
+  // clean...
+  return TREEWM_FAULT_FIRED("serve.registry.load.fail");
+}
+
+inline bool DuplicateRegistrySite() {
+  // ...but a second code site would make one armed fault fire in two places.
+  return TREEWM_FAULT_FIRED("serve.registry.load.fail");  // expect-lint: fault-site
+}
+
+inline bool UncataloguedRegistrySite() {
+  return TREEWM_FAULT_FIRED("serve.registry.not.in.catalog");  // expect-lint: fault-site
+}
+
+}  // namespace fixture

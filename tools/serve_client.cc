@@ -1,20 +1,30 @@
 // serve_client — CLI for the wire protocol (src/serve/wire/).
 //
 // Subcommands:
-//   serve [port]                     train a demo forest, serve it on
-//                                    127.0.0.1:<port> (0 = kernel-picked;
-//                                    the bound port is printed), run until
-//                                    stdin closes (pipe `true |` for CI).
+//   serve [port]                     train two demo forests, serve them from
+//                                    a model registry on 127.0.0.1:<port>
+//                                    (0 = kernel-picked; the bound port is
+//                                    printed), run until stdin closes (pipe
+//                                    `true |` for CI). Models: "demo" (the
+//                                    default for v1 clients) and
+//                                    "demo-compact".
 //   ping <port>                      liveness round-trip.
+//   models <port>                    list the server's models (id, state,
+//                                    checksum, traffic counters).
 //   predict <port> f1,f2,...         one prediction; prints label + votes.
 //   load <port> <requests> [conns]   closed-loop load over keep-alive
 //                                    connections with the polite-client
 //                                    retry discipline; prints served/refused.
 //
+// predict and load accept `--model <id>` anywhere after the subcommand to
+// address a specific model (protocol v2); without it they speak v1 and land
+// on the server's default model.
+//
 // Typical session:
 //   ./build/serve_client serve 7447 &
 //   ./build/serve_client ping 7447
-//   ./build/serve_client predict 7447 "$(python3 -c 'print(",".join(["0.5"]*30))')"
+//   ./build/serve_client models 7447
+//   ./build/serve_client predict 7447 --model demo-compact "$(python3 -c 'print(",".join(["0.5"]*30))')"
 //   ./build/serve_client load 7447 1000 4
 
 #include <atomic>
@@ -28,6 +38,7 @@
 #include "data/synthetic.h"
 #include "forest/random_forest.h"
 #include "predict/flat_ensemble.h"
+#include "serve/registry/model_registry.h"
 #include "serve/retry.h"
 #include "serve/serving_front_end.h"
 #include "serve/wire/socket_client.h"
@@ -41,9 +52,24 @@ int Usage() {
   std::fprintf(stderr,
                "usage: serve_client serve [port]\n"
                "       serve_client ping <port>\n"
-               "       serve_client predict <port> f1,f2,...\n"
-               "       serve_client load <port> <requests> [connections]\n");
+               "       serve_client models <port>\n"
+               "       serve_client predict [--model <id>] <port> f1,f2,...\n"
+               "       serve_client load [--model <id>] <port> <requests> "
+               "[connections]\n");
   return 2;
+}
+
+/// Removes a `--model <id>` pair from `args` (anywhere) and returns the id;
+/// empty when absent (= speak protocol v1).
+std::string ExtractModelFlag(std::vector<std::string>* args) {
+  for (size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == "--model") {
+      std::string id = (*args)[i + 1];
+      args->erase(args->begin() + i, args->begin() + i + 2);
+      return id;
+    }
+  }
+  return "";
 }
 
 std::vector<float> ParseFeatures(const std::string& csv) {
@@ -58,52 +84,71 @@ std::vector<float> ParseFeatures(const std::string& csv) {
   return features;
 }
 
+std::shared_ptr<const predict::FlatEnsemble> TrainDemoModel(
+    const data::Dataset& train, size_t num_trees, uint64_t seed) {
+  forest::ForestConfig config;
+  config.num_trees = num_trees;
+  config.seed = seed;
+  auto forest = forest::RandomForest::Fit(train, {}, config).MoveValue();
+  return std::make_shared<const predict::FlatEnsemble>(
+      predict::FlatEnsemble::FromClassificationTrees(forest.trees()));
+}
+
 int RunServe(uint16_t port) {
   data::Dataset dataset = data::synthetic::MakeBreastCancerLike(/*seed=*/2025);
   Rng rng(1);
   auto split =
       data::MakeTrainTest(dataset, /*test_fraction=*/0.3, &rng).MoveValue();
-  forest::ForestConfig config;
-  config.num_trees = 16;
-  config.seed = 5;
-  auto forest = forest::RandomForest::Fit(split.train, {}, config).MoveValue();
 
-  serve::ServingOptions serving_options;
-  serving_options.queue.capacity = 256;
-  serving_options.queue.shed_high_water = 192;
-  serving_options.batch.max_batch_rows = 32;
-  serving_options.batch.max_batch_delay = std::chrono::milliseconds(1);
-  auto serving = serve::ServingFrontEnd::Create(
-                     std::make_shared<predict::FlatEnsemble>(
-                         predict::FlatEnsemble::FromClassificationTrees(
-                             forest.trees())),
-                     serving_options)
-                     .MoveValue();
+  serve::ModelRegistryOptions registry_options;
+  registry_options.serving.queue.capacity = 256;
+  registry_options.serving.queue.shed_high_water = 192;
+  registry_options.serving.batch.max_batch_rows = 32;
+  registry_options.serving.batch.max_batch_delay = std::chrono::milliseconds(1);
+  auto registry = serve::ModelRegistry::Create(registry_options);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "serve: %s\n", registry.status().ToString().c_str());
+    return 1;
+  }
+  const Status demo =
+      registry.value()->Load("demo", TrainDemoModel(split.train, 16, 5));
+  const Status compact =
+      registry.value()->Load("demo-compact", TrainDemoModel(split.train, 5, 6));
+  if (!demo.ok() || !compact.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 (demo.ok() ? compact : demo).ToString().c_str());
+    return 1;
+  }
 
   serve::wire::SocketServerOptions wire_options;
   wire_options.port = port;
+  wire_options.default_model = "demo";
   auto server =
-      serve::wire::SocketServer::Create(serving.get(), wire_options);
+      serve::wire::SocketServer::Create(registry.value().get(), wire_options);
   if (!server.ok()) {
     std::fprintf(stderr, "serve: %s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving %zu trees over %zu features on 127.0.0.1:%u\n",
-              serving->num_trees(), serving->num_features(),
-              server.value()->port());
+  for (const serve::ModelEntryInfo& info : registry.value()->List()) {
+    std::printf("model '%s': %s, checksum %08x\n", info.id.c_str(),
+                serve::ModelStateName(info.state), info.checksum);
+  }
+  std::printf("serving %zu models on 127.0.0.1:%u (default 'demo')\n",
+              registry.value()->List().size(), server.value()->port());
   std::printf("press enter (or close stdin) to drain and exit\n");
   std::fflush(stdout);
   (void)std::getchar();  // blocks until input or EOF
 
   server.value()->Shutdown();
   const serve::wire::WireStats stats = server.value()->stats();
-  serving->Shutdown();
+  registry.value()->Shutdown();
   std::printf(
-      "wire: %llu conns (%llu shed), %llu requests -> %llu responses + "
-      "%llu refusals + %llu dropped, %llu parse errors\n",
+      "wire: %llu conns (%llu shed), %llu requests + %llu model lists -> "
+      "%llu responses + %llu refusals + %llu dropped, %llu parse errors\n",
       (unsigned long long)stats.connections_accepted,
       (unsigned long long)stats.connections_shed,
       (unsigned long long)stats.requests_received,
+      (unsigned long long)stats.models_requests,
       (unsigned long long)stats.responses_sent,
       (unsigned long long)stats.refusals_sent,
       (unsigned long long)stats.responses_dropped,
@@ -120,7 +165,28 @@ int RunPing(uint16_t port) {
   return status.ok() ? 0 : 1;
 }
 
-int RunPredict(uint16_t port, const std::string& csv) {
+int RunModels(uint16_t port) {
+  serve::wire::SocketClientOptions options;
+  options.port = port;
+  serve::wire::SocketClient client(options);
+  auto models = client.ListModels();
+  if (!models.ok()) {
+    std::fprintf(stderr, "models: %s\n", models.status().ToString().c_str());
+    return 1;
+  }
+  for (const serve::wire::ModelInfoMsg& row : models.value()) {
+    std::printf(
+        "model '%s': %s, checksum %08x, %llu submitted, %llu ok, %llu shed\n",
+        row.id.c_str(),
+        serve::ModelStateName(static_cast<serve::ModelState>(row.state)),
+        row.checksum, (unsigned long long)row.submitted,
+        (unsigned long long)row.completed_ok, (unsigned long long)row.shed);
+  }
+  return 0;
+}
+
+int RunPredict(uint16_t port, const std::string& csv,
+               const std::string& model_id) {
   const std::vector<float> features = ParseFeatures(csv);
   if (features.empty()) {
     std::fprintf(stderr, "predict: no features parsed from '%s'\n", csv.c_str());
@@ -128,6 +194,7 @@ int RunPredict(uint16_t port, const std::string& csv) {
   }
   serve::wire::SocketClientOptions options;
   options.port = port;
+  options.model_id = model_id;
   serve::wire::SocketClient client(options);
   serve::RetryPolicy policy;
   auto result = client.PredictWithRetry(features, policy);
@@ -141,7 +208,8 @@ int RunPredict(uint16_t port, const std::string& csv) {
   return 0;
 }
 
-int RunLoad(uint16_t port, size_t requests, size_t connections) {
+int RunLoad(uint16_t port, size_t requests, size_t connections,
+            const std::string& model_id) {
   if (connections == 0) connections = 1;
   data::Dataset dataset = data::synthetic::MakeBreastCancerLike(/*seed=*/2025);
   const size_t per_conn = (requests + connections - 1) / connections;
@@ -153,6 +221,7 @@ int RunLoad(uint16_t port, size_t requests, size_t connections) {
     const Status submitted = pool.Submit([&, c] {
       serve::wire::SocketClientOptions options;
       options.port = port;
+      options.model_id = model_id;
       serve::wire::SocketClient client(options);
       serve::RetryPolicy policy;
       policy.seed = c + 1;
@@ -175,10 +244,12 @@ int RunLoad(uint16_t port, size_t requests, size_t connections) {
   }
   pool.Shutdown();
   std::printf("load: %llu served, %llu refused (overload), %llu failed over "
-              "%zu connection(s)\n",
+              "%zu connection(s)%s%s\n",
               (unsigned long long)served.load(),
               (unsigned long long)refused.load(),
-              (unsigned long long)failed.load(), connections);
+              (unsigned long long)failed.load(), connections,
+              model_id.empty() ? "" : " to model ",
+              model_id.empty() ? "" : model_id.c_str());
   return failed.load() == 0 ? 0 : 1;
 }
 
@@ -187,23 +258,29 @@ int RunLoad(uint16_t port, size_t requests, size_t connections) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  const std::string model_id = ExtractModelFlag(&args);
   if (command == "serve") {
     const uint16_t port =
-        argc >= 3 ? static_cast<uint16_t>(std::atoi(argv[2])) : 0;
+        !args.empty() ? static_cast<uint16_t>(std::atoi(args[0].c_str())) : 0;
     return RunServe(port);
   }
-  if (command == "ping" && argc >= 3) {
-    return RunPing(static_cast<uint16_t>(std::atoi(argv[2])));
+  if (command == "ping" && !args.empty()) {
+    return RunPing(static_cast<uint16_t>(std::atoi(args[0].c_str())));
   }
-  if (command == "predict" && argc >= 4) {
-    return RunPredict(static_cast<uint16_t>(std::atoi(argv[2])), argv[3]);
+  if (command == "models" && !args.empty()) {
+    return RunModels(static_cast<uint16_t>(std::atoi(args[0].c_str())));
   }
-  if (command == "load" && argc >= 4) {
-    const size_t requests = static_cast<size_t>(std::atoll(argv[3]));
+  if (command == "predict" && args.size() >= 2) {
+    return RunPredict(static_cast<uint16_t>(std::atoi(args[0].c_str())),
+                      args[1], model_id);
+  }
+  if (command == "load" && args.size() >= 2) {
+    const size_t requests = static_cast<size_t>(std::atoll(args[1].c_str()));
     const size_t connections =
-        argc >= 5 ? static_cast<size_t>(std::atoll(argv[4])) : 1;
-    return RunLoad(static_cast<uint16_t>(std::atoi(argv[2])), requests,
-                   connections);
+        args.size() >= 3 ? static_cast<size_t>(std::atoll(args[2].c_str())) : 1;
+    return RunLoad(static_cast<uint16_t>(std::atoi(args[0].c_str())), requests,
+                   connections, model_id);
   }
   return Usage();
 }
